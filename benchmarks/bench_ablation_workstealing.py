@@ -1,0 +1,37 @@
+"""Ablation: static cyclic tile distribution vs work-stealing queue
+(the paper's §V-D design choice and its stated future work).
+
+Under a *balanced* workload the static distribution wins (no stealing
+overhead); under a *skewed* one the work queue recovers most of the
+lost parallelism.  Both modes produce bit-identical images (tested in
+tests/bench/test_raytrace.py); here we time them.
+"""
+
+import pytest
+
+from repro.bench import raytrace
+
+
+@pytest.mark.parametrize("mode", ["static", "stealing-balanced",
+                                  "stealing-skewed"])
+def test_render_distribution_mode(benchmark, mode):
+    out = {}
+
+    def run():
+        if mode == "static":
+            out["r"] = raytrace.run(ranks=4, image=48, tile=8, spp=1,
+                                    verify=False)
+        else:
+            out["r"] = raytrace.run_dynamic(
+                ranks=4, image=48, tile=8, spp=1, verify=False,
+                skew=(mode == "stealing-skewed"),
+            )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    if mode != "static":
+        benchmark.extra_info["steals"] = sum(
+            r["steals"] for r in out["r"]
+        )
+        benchmark.extra_info["rank0_share"] = (
+            out["r"][0]["rendered"] / out["r"][0]["total_rendered"]
+        )

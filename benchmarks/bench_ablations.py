@@ -1,0 +1,134 @@
+"""Ablations of the design decisions DESIGN.md §5 calls out.
+
+Each pair isolates one choice the paper (or this reproduction) made:
+
+* **unstrided vs strided array access** (paper §III-E's template
+  specialization): packing a block from a contiguous view vs a strided
+  one;
+* **blocking copy vs async_copy+fence** (paper §III-D / §V-E): many
+  small transfers with per-op completion vs a single fence — measured
+  on the real runtime *and* projected via the model's LULESH exchange;
+* **serialized vs concurrent thread mode** (paper §IV): async service
+  latency when the target computes without polling;
+* **event-driven vs finish-based synchronization** (paper §III-G): the
+  bookkeeping cost of each completion mechanism.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.arrays import RectDomain, ndarray
+from repro.sim.des import DesEngine
+from repro.sim.patterns import halo3d_pattern
+
+
+# -- unstrided specialization ------------------------------------------------
+
+@pytest.mark.parametrize("layout", ["unstrided", "strided"])
+def test_pack_block_by_layout(benchmark, layout):
+    def run():
+        def body():
+            base = ndarray(np.float64, RectDomain((0, 0), (128, 128)))
+            if layout == "unstrided":
+                view = base.constrict(RectDomain((0, 0), (128, 128)))
+                assert view.unstrided
+            else:
+                view = base.constrict(
+                    RectDomain((0, 0), (128, 128), (2, 2))
+                )
+                assert not view.unstrided
+            for _ in range(20):
+                view.to_numpy()
+
+        repro.spmd(body, ranks=1)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+# -- blocking vs non-blocking copies -------------------------------------------
+
+@pytest.mark.parametrize("mode", ["blocking", "async"])
+def test_many_copies_by_mode(benchmark, mode):
+    def run():
+        def body():
+            me = repro.myrank()
+            if me == 0:
+                srcs = [repro.allocate(0, 4096, np.uint8)
+                        for _ in range(32)]
+                dsts = [repro.allocate(1, 4096, np.uint8)
+                        for _ in range(32)]
+                for _ in range(5):
+                    if mode == "blocking":
+                        for s, d in zip(srcs, dsts):
+                            repro.copy(s, d, 4096)
+                    else:
+                        for s, d in zip(srcs, dsts):
+                            repro.async_copy(s, d, 4096)
+                        repro.async_copy_fence()
+            repro.barrier()
+
+        repro.spmd(body, ranks=2)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_async_copy_advantage_under_model(benchmark):
+    """Where the real advantage lives (the SMP wire is a memcpy): the
+    machine model's halo exchange, one-sided vs two-sided."""
+    from repro.sim.machine import EDISON
+
+    progs_one = halo3d_pattern(64, 2, 16 * 16 * 8, 1e-4, one_sided=True)
+    progs_two = halo3d_pattern(64, 2, 16 * 16 * 8, 1e-4, one_sided=False)
+
+    def run():
+        t_one = DesEngine(EDISON, "upcxx", 64).run(
+            [list(p) for p in progs_one])["makespan"]
+        t_two = DesEngine(EDISON, "mpi", 64).run(
+            [list(p) for p in progs_two])["makespan"]
+        assert t_one < t_two
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+# -- thread-support modes -----------------------------------------------------
+
+@pytest.mark.parametrize("mode", ["serialized", "concurrent"])
+def test_async_throughput_by_thread_mode(benchmark, mode):
+    def run():
+        def body():
+            me = repro.myrank()
+            if me == 0:
+                with repro.finish():
+                    for i in range(100):
+                        repro.async_(1)(int, i)
+            repro.barrier()
+
+        repro.spmd(body, ranks=2, thread_mode=mode)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+# -- event vs finish synchronization -----------------------------------------
+
+@pytest.mark.parametrize("style", ["finish", "events"])
+def test_task_sync_style(benchmark, style):
+    def run():
+        def body():
+            me = repro.myrank()
+            n = repro.ranks()
+            if me == 0:
+                if style == "finish":
+                    with repro.finish():
+                        for i in range(60):
+                            repro.async_(1 + i % (n - 1))(int, i)
+                else:
+                    e = repro.Event()
+                    for i in range(60):
+                        repro.async_(1 + i % (n - 1), signal=e)(int, i)
+                    e.wait()
+            repro.barrier()
+
+        repro.spmd(body, ranks=4)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,119 @@
+"""Core runtime operation costs — the software overheads behind Fig. 3.
+
+These microbenchmarks are what :mod:`repro.sim.calibrate` consumes: the
+local/remote shared-access split, async round trips, bulk copy
+bandwidth, barriers and collectives.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def _world_bench(benchmark, body, ranks=2, rounds=5, setup=None):
+    """Time `body` (run on rank 0 inside an SPMD world).
+
+    ``setup`` (optional) runs collectively on every rank first and its
+    return value is passed to ``body``.
+    """
+    def run():
+        def spmd_body():
+            state = setup() if setup is not None else None
+            repro.barrier()
+            if repro.myrank() == 0:
+                if state is None:
+                    body()
+                else:
+                    body(state)
+            repro.barrier()
+
+        repro.spmd(spmd_body, ranks=ranks)
+
+    benchmark.pedantic(run, rounds=rounds, iterations=1)
+
+
+def test_local_shared_array_access(benchmark):
+    """Fig. 3 'local access' branch: owner-side element reads."""
+    def setup():
+        return repro.SharedArray(np.int64, size=64, block=32)
+
+    def body(sa):
+        for _ in range(2000):
+            sa[0]  # element 0 is rank 0's
+
+    _world_bench(benchmark, body, setup=setup)
+
+
+def test_remote_shared_array_access(benchmark):
+    """Fig. 3 'remote access' branch: one-sided gets from a peer."""
+    def setup():
+        return repro.SharedArray(np.int64, size=64, block=32)
+
+    def body(sa):
+        for _ in range(2000):
+            sa[32]  # element 32 is rank 1's
+
+    _world_bench(benchmark, body, setup=setup)
+
+
+def test_async_round_trip(benchmark):
+    def body():
+        for _ in range(50):
+            repro.async_(1)(int, 1).get()
+
+    _world_bench(benchmark, body)
+
+
+def test_bulk_copy_bandwidth(benchmark):
+    nbytes = 1 << 20
+
+    def body():
+        src = repro.allocate(0, nbytes, np.uint8)
+        dst = repro.allocate(1, nbytes, np.uint8)
+        for _ in range(10):
+            repro.copy(src, dst, nbytes)
+
+    _world_bench(benchmark, body)
+    benchmark.extra_info["bytes_per_round"] = nbytes * 10
+
+
+def test_barrier_cost(benchmark):
+    def run():
+        def body():
+            for _ in range(100):
+                repro.barrier()
+
+        repro.spmd(body, ranks=4)
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+def test_allreduce_cost(benchmark):
+    def run():
+        def body():
+            v = np.arange(256.0)
+            for _ in range(50):
+                repro.collectives.allreduce(v)
+
+        repro.spmd(body, ranks=4)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_remote_allocation_cost(benchmark):
+    """The AM round trip of allocate-on-remote (paper §III-C)."""
+    def body():
+        ptrs = [repro.allocate(1, 64, np.uint8) for _ in range(100)]
+        for p in ptrs:
+            repro.deallocate(p)
+
+    _world_bench(benchmark, body)
+
+
+def test_world_spinup(benchmark):
+    """SPMD launch + teardown (fixed cost behind every other number)."""
+    def run():
+        repro.spmd(lambda: repro.barrier(), ranks=4)
+
+    benchmark.pedantic(run, rounds=10, iterations=1)

@@ -1,0 +1,45 @@
+"""Fig. 4 — Random Access latency per update (BG/Q model).
+
+Measured: per-update latency of the real loop, local (1 rank) vs
+remote-heavy (4 ranks) — the same local/remote contrast that drives the
+figure's shape.  Projected: the full 1..8192-core series for both
+programming models.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from benchmarks.conftest import attach_series
+from repro.sim import perfmodel as pm
+
+
+def _measure_updates(ranks: int, updates: int) -> float:
+    """Seconds per update of an atomic-xor loop on `ranks` ranks."""
+    import time
+
+    def body():
+        table = repro.SharedArray(np.uint64, size=1024, block=1)
+        repro.barrier()
+        idx = np.random.default_rng(repro.myrank()).integers(
+            0, 1024, size=updates
+        )
+        t0 = time.perf_counter()
+        for i in idx:
+            table.atomic(int(i), "xor", np.uint64(i))
+        repro.barrier()
+        return (time.perf_counter() - t0) / updates
+
+    return max(repro.spmd(body, ranks=ranks))
+
+
+@pytest.mark.parametrize("ranks", [1, 4])
+def test_update_latency(benchmark, ranks):
+    out = {}
+
+    def run():
+        out["t"] = _measure_updates(ranks, updates=400)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["usec_per_update_smp"] = out["t"] * 1e6
+    attach_series(benchmark, "fig4_model", pm.fig4_random_access())

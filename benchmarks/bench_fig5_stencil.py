@@ -1,0 +1,57 @@
+"""Fig. 5 — Stencil weak scaling (Edison model).
+
+Measured: full distributed Jacobi iterations (8 ranks, vectorized
+kernel) and the ghost-exchange phase alone.  Projected: the
+24..6144-core GFLOPS series for Titanium and UPC++.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from benchmarks.conftest import attach_series
+from repro.arrays import DistNdArray, RectDomain
+from repro.bench import stencil
+from repro.sim import perfmodel as pm
+
+
+def test_stencil_iterations(benchmark):
+    out = {}
+
+    def run():
+        out["r"] = stencil.run(ranks=8, box=16, iters=2, verify=False)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["gflops_smp"] = out["r"].gflops
+    attach_series(benchmark, "fig5_model", pm.fig5_stencil())
+    attach_series(benchmark, "fig5_paper_endpoints", pm.PAPER_FIG5)
+
+
+def test_ghost_exchange_phase(benchmark):
+    """The communication phase alone (6 one-sided face copies/rank)."""
+    def run():
+        def body():
+            D = DistNdArray(np.float64,
+                            RectDomain((0, 0, 0), (32, 32, 32)), ghost=1)
+            D.interior_view()[:] = float(repro.myrank())
+            for _ in range(3):
+                D.ghost_exchange(faces_only=True)
+            repro.barrier()
+
+        repro.spmd(body, ranks=8)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_local_kernel_only(benchmark):
+    """The 8-flop/point compute phase (NumPy views, no communication).
+    Feeds the calibration of stencil_gflops_per_core."""
+    a = np.random.default_rng(0).random((66, 66, 66))
+    b = np.zeros_like(a)
+
+    def kernel():
+        stencil._kernel_vectorized(a, b)
+
+    benchmark(kernel)
+    flops = 64 ** 3 * stencil.FLOPS_PER_POINT
+    benchmark.extra_info["flops_per_call"] = flops

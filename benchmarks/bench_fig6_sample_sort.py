@@ -1,0 +1,49 @@
+"""Fig. 6 — Sample Sort weak scaling (Edison model).
+
+Measured: the full distributed sort (4 ranks) for both variants.
+Projected: the 1..12288-core TB/min series, UPC vs UPC++.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_series
+from repro.bench import sample_sort
+from repro.sim import perfmodel as pm
+
+
+@pytest.mark.parametrize("variant", ["upcxx", "upc"])
+def test_sample_sort(benchmark, variant):
+    out = {}
+
+    def run():
+        out["r"] = sample_sort.run(
+            ranks=4, keys_per_rank=16384, variant=variant, verify=False,
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["tb_per_min_smp"] = out["r"].tb_per_min
+    attach_series(benchmark, "fig6_model", pm.fig6_sample_sort())
+    attach_series(benchmark, "fig6_paper_endpoints", pm.PAPER_FIG6)
+
+
+def test_splitter_phase(benchmark):
+    """Sampling via fine-grained global reads (the paper's excerpt)."""
+    import numpy as np
+
+    import repro
+    from repro.bench.sample_sort import _select_splitters
+
+    def run():
+        def body():
+            keys = repro.SharedArray(np.uint64, size=4096, block=1024)
+            keys.local_view()[:1024] = np.random.default_rng(
+                repro.myrank()
+            ).integers(0, 1 << 63, 1024, dtype=np.uint64)
+            repro.barrier()
+            s = _select_splitters(keys, oversample=32, seed=1)
+            assert len(s) == repro.ranks() - 1
+            repro.barrier()
+
+        repro.spmd(body, ranks=4)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

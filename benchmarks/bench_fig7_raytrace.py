@@ -1,0 +1,33 @@
+"""Fig. 7 — Embree strong scaling (Edison model).
+
+Measured: the distributed renderer (4 ranks) and the tile kernel.
+Projected: the 24..6144-core speedup series.
+"""
+
+from benchmarks.conftest import attach_series
+from repro.bench import raytrace
+from repro.bench.raytrace import Scene, render_tile
+from repro.sim import perfmodel as pm
+
+
+def test_distributed_render(benchmark):
+    out = {}
+
+    def run():
+        out["r"] = raytrace.run(ranks=4, image=48, tile=8, spp=2,
+                                verify=False)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["tiles_on_rank0"] = out["r"].tiles_rendered
+    attach_series(benchmark, "fig7_model", pm.fig7_embree())
+
+
+def test_tile_kernel(benchmark):
+    """Single-tile render cost (feeds ray_rate calibration)."""
+    scene = Scene()
+
+    def kernel():
+        render_tile(scene, 64, 16, 1, 1, spp=2)
+
+    benchmark(kernel)
+    benchmark.extra_info["rays_per_call"] = 16 * 16 * 2

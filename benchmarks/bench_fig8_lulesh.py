@@ -1,0 +1,45 @@
+"""Fig. 8 — LULESH weak scaling, MPI vs UPC++ (Edison model).
+
+Measured: the hydro proxy in both communication modes (8 ranks) — the
+real code-path contrast behind the figure.  Projected: the 64..32768
+core FOM series with the ~10% one-sided advantage at scale.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_series
+from repro.bench import lulesh
+from repro.sim import perfmodel as pm
+
+
+@pytest.mark.parametrize("comm", ["one-sided", "two-sided"])
+def test_lulesh_steps(benchmark, comm):
+    out = {}
+
+    def run():
+        out["r"] = lulesh.run(ranks=8, box=6, steps=2, comm=comm,
+                              verify=False)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["fom_zones_per_sec_smp"] = \
+        out["r"].fom_zones_per_sec
+    attach_series(benchmark, "fig8_model", pm.fig8_lulesh())
+    benchmark.extra_info["paper_upcxx_over_mpi_at_32k"] = \
+        pm.PAPER_FIG8_UPCXX_SPEEDUP_AT_32K
+
+
+def test_physics_kernel_only(benchmark):
+    """The Lax-Friedrichs + smoothing update (feeds zone_rate)."""
+    import numpy as np
+
+    from repro.bench.lulesh import lxf_step, max_wavespeed, sedov_init
+
+    U = sedov_init((24, 24, 24), dx=1.0)
+    pad = {k: np.pad(v, 1, mode="edge") for k, v in U.items()}
+
+    def kernel():
+        dt = 0.3 / max_wavespeed(pad)
+        lxf_step(pad, dt, 1.0)
+
+    benchmark(kernel)
+    benchmark.extra_info["zones_per_call"] = 24 ** 3

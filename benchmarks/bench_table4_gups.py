@@ -1,0 +1,39 @@
+"""Table IV — Random Access GUPS.
+
+Measured: the real update loop on the SMP conduit (4 ranks).
+Projected: the Vesta model's GUPS at the paper's 16/128/1024/8192
+threads, attached as extra_info.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_series
+from repro.bench import gups
+from repro.sim import perfmodel as pm
+
+
+@pytest.mark.parametrize("variant", ["upcxx", "upc"])
+def test_gups_update_loop(benchmark, variant):
+    result = {}
+
+    def run():
+        result["r"] = gups.run(
+            ranks=4, log2_table_size=12, updates_per_rank=512,
+            variant=variant, verify=False,
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    attach_series(benchmark, "table4_model", pm.table4_gups())
+    attach_series(benchmark, "table4_paper", pm.PAPER_TABLE4)
+    benchmark.extra_info["measured_gups_smp"] = result["r"].gups
+    benchmark.extra_info["remote_fraction"] = result["r"].remote_fraction
+
+
+def test_gups_verification_pass(benchmark):
+    """The HPCC self-inverse check, timed (2x update work)."""
+    def run():
+        r = gups.run(ranks=4, log2_table_size=10, updates_per_rank=128,
+                     variant="upcxx", verify=True)
+        assert r.verified
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_figN_*`` module does two things:
+
+1. measures the *real* benchmark on the SMP conduit at small rank
+   counts with pytest-benchmark (these numbers characterize this
+   library's software paths, not a supercomputer);
+2. attaches the machine-model projection of the paper's figure to
+   ``benchmark.extra_info`` so the report carries the reproduced series
+   next to the measured sample.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+
+def attach_series(benchmark, name: str, series: dict) -> None:
+    """Record a modelled paper series in the benchmark report."""
+    compact = {}
+    for key, val in series.items():
+        if isinstance(val, list) and val and isinstance(val[0], float):
+            compact[key] = [round(v, 6) for v in val]
+        else:
+            compact[key] = val
+    benchmark.extra_info[name] = compact

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Periodic advection on a distributed grid.
+
+Transports a Gaussian pulse around a torus-topology domain with an
+upwind scheme — exercising the periodic ghost exchange of
+:class:`~repro.arrays.distarray.DistNdArray` (wrap-around halos).
+After exactly one full traversal the pulse returns to its starting
+cell, which the script verifies.
+
+    python examples/periodic_advection.py
+"""
+
+import numpy as np
+
+import repro
+from repro.arrays import DistNdArray, RectDomain
+
+N = 32          # grid points per side
+C = 1.0         # advection speed (cells per step, x direction)
+
+
+def main():
+    me = repro.myrank()
+    dom = RectDomain((0, 0), (N, N))
+    A = DistNdArray(np.float64, dom, ghost=1, periodic=True)
+    B = DistNdArray(np.float64, dom, ghost=1, periodic=True,
+                    pgrid=A.pgrid)
+
+    # initial condition: a Gaussian bump (same formula on every rank)
+    xs = np.arange(N)
+    gx, gy = np.meshgrid(xs, xs, indexing="ij")
+    pulse = np.exp(-((gx - N // 4) ** 2 + (gy - N // 2) ** 2) / 8.0)
+    sl = tuple(
+        slice(A.my_interior.lb[d], A.my_interior.ub[d]) for d in range(2)
+    )
+    A.interior_view()[:] = pulse[sl]
+    repro.barrier()
+
+    start_total = repro.collectives.allreduce(
+        float(A.interior_view().sum())
+    )
+
+    # integer-speed upwind transport: u[i] <- u[i - C] each step; after
+    # N steps the field must return exactly to its start (periodic).
+    for step in range(N):
+        A.ghost_exchange(faces_only=True)
+        a = A.local.local_view()
+        B.interior_view()[:] = a[:-2, 1:-1]  # shift +1 in x from ghosts
+        A, B = B, A
+        if me == 0 and step % 8 == 7:
+            print(f"step {step + 1:3d}: pulse transported "
+                  f"{step + 1} cells around the torus")
+
+    end_total = repro.collectives.allreduce(float(A.interior_view().sum()))
+    final = A.to_numpy()
+    if me == 0:
+        assert abs(end_total - start_total) < 1e-9, "mass lost!"
+        assert np.allclose(final, pulse, atol=1e-12), \
+            "pulse did not return to its start after a full loop"
+        print(f"mass conserved ({end_total:.6f}) and pulse returned "
+              f"exactly after {N} steps — periodic wrap verified")
+    repro.barrier()
+
+
+if __name__ == "__main__":
+    repro.spmd(main, ranks=4)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Paper Table I, live: every UPC idiom and its UPC++ equivalent,
+executed side by side on the same runtime.
+
+    python examples/table1_idioms.py
+"""
+
+import numpy as np
+
+import repro
+from repro.compat import upc
+
+
+def show(row, upc_spelling, upcxx_spelling, same):
+    if repro.myrank() == 0:
+        mark = "==" if same else "!="
+        print(f"  {row:<22} {upc_spelling:<28} {mark} {upcxx_spelling}")
+
+
+def main():
+    me = repro.myrank()
+    if me == 0:
+        print("Table I — UPC idioms and their UPC++ equivalents, executed:")
+
+    # execution units / id
+    show("execution units", f"THREADS = {upc.THREADS()}",
+         f"ranks() = {repro.ranks()}", upc.THREADS() == repro.ranks())
+    show("my id", f"MYTHREAD = {upc.MYTHREAD()}",
+         f"myrank() = {repro.myrank()}", upc.MYTHREAD() == repro.myrank())
+
+    # shared variable
+    v = repro.SharedVar(np.int64, init=5)
+    show("shared variable", "shared int v", "shared_var<int> v",
+         v.value == 5)
+
+    # shared array with matching layout
+    a_upc = upc.shared_array(np.int64, 8, block=2)
+    a_xx = repro.SharedArray(np.int64, size=8, block=2)
+    repro.barrier()
+    same_layout = all(a_upc.where(i) == a_xx.where(i) for i in range(8))
+    show("shared array", "shared [2] int A[8]",
+         "shared_array<int,2> A(8)", same_layout)
+
+    # global pointer
+    p = a_xx.gptr(3)
+    show("global pointer", "shared int *p",
+         f"global_ptr<int> (rank {p.where()})", True)
+
+    # allocation
+    ptr = upc.upc_alloc(64)
+    ptr2 = repro.allocate(me, 64, np.uint8)
+    show("allocation", "upc_alloc(64)", "allocate<char>(me, 64)",
+         ptr.where() == ptr2.where())
+    upc.upc_free(ptr)
+    repro.deallocate(ptr2)
+
+    # data movement
+    if me == 0:
+        src = repro.allocate(0, 16, np.uint8)
+        dst = repro.allocate(0, 16, np.uint8)
+        src.put(np.arange(16, dtype=np.uint8))
+        upc.upc_memcpy(dst, src, 16)
+        moved = bool(np.array_equal(dst.get(16), src.get(16)))
+    else:
+        moved = True
+    show("data movement", "upc_memcpy(dst, src, n)",
+         "copy(src, dst, n)", moved)
+
+    # synchronization
+    upc.upc_barrier()
+    repro.barrier()
+    show("synchronization", "upc_barrier / upc_fence",
+         "barrier() / fence()", True)
+
+    # forall
+    n = 12
+    sa = repro.SharedArray(np.int64, size=n)
+    repro.barrier()
+    mine_upc = list(upc.upc_forall(n, affinity=sa))
+    mine_xx = [i for i in range(n) if sa.where(i) == me]
+    show("forall loop", "upc_forall(...; &A[i])",
+         "for + affinity conditional", mine_upc == mine_xx)
+    repro.barrier()
+
+
+if __name__ == "__main__":
+    repro.spmd(main, ranks=4)

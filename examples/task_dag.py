@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The paper's Listing 1 / Fig. 1: building a task-dependency graph
+with events, async and async_after.
+
+::
+
+    t1   t2        (signal e1)
+      \\  /
+       e1
+       |
+       t3   t4     (t3 after e1; both signal e2)
+        \\  /
+         e2
+        /  \\
+      t5    t6     (after e2; signal e3)
+        \\  /
+         e3
+          |
+       e3.wait()
+
+    python examples/task_dag.py
+"""
+
+import threading
+import time
+
+import repro
+
+
+def task(name: str, millis: int) -> str:
+    time.sleep(millis / 1000.0)
+    print(f"  [{name}] ran on rank {repro.myrank()}")
+    return name
+
+
+def main():
+    me, n = repro.myrank(), repro.ranks()
+    if me == 0:
+        completion, lock = [], threading.Lock()
+
+        def record(name):
+            def cb(_fut):
+                with lock:
+                    completion.append(name)
+            return cb
+
+        e1, e2, e3 = repro.Event(), repro.Event(), repro.Event()
+        p = [k % n for k in (1, 2, 3, 4, 5, 6)]
+        repro.async_(p[0], signal=e1)(task, "t1", 20).add_callback(record("t1"))
+        repro.async_(p[1], signal=e1)(task, "t2", 10).add_callback(record("t2"))
+        repro.async_after(p[2], after=e1, signal=e2)(task, "t3", 10) \
+            .add_callback(record("t3"))
+        repro.async_(p[3], signal=e2)(task, "t4", 5).add_callback(record("t4"))
+        repro.async_after(p[4], after=e2, signal=e3)(task, "t5", 5) \
+            .add_callback(record("t5"))
+        repro.async_after(p[5], after=e2, signal=e3)(task, "t6", 5) \
+            .add_callback(record("t6"))
+        print("waiting on e3 ...")
+        e3.wait()
+        print("completion order:", " -> ".join(completion))
+    repro.barrier()
+
+
+if __name__ == "__main__":
+    repro.spmd(main, ranks=4)

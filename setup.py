@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 517/660 builds (which need bdist_wheel) are unavailable; this shim
+lets ``pip install -e .`` fall back to the legacy editable install.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Titanium-style multidimensional domains and arrays (paper §III-E).
+
+The components match the paper's list:
+
+* **points** — coordinates in N-dimensional space (:class:`Point`);
+* **rectangular domains** — lower bound, *exclusive* upper bound and a
+  stride (:class:`RectDomain`; the paper's footnote 1 chooses exclusive
+  upper bounds over Titanium's inclusive ones — so do we);
+* **arrays** — constructed over a rectangular domain and indexed by
+  points (:class:`NdArray`), with views (constrict/slice/translate/
+  permute), the one-sided ``A.copy(B)`` with automatic domain
+  intersection, and an ``unstrided`` fast path.
+
+The macro shorthands of Table II map to plain constructors::
+
+    POINT(1, 2)                  -> Point(1, 2)
+    RECTDOMAIN((1,2), (9,9))     -> RectDomain((1, 2), (9, 9))
+    ARRAY(int, ((1,2),(9,9)))    -> ndarray(np.int64, RectDomain((1,2),(9,9)))
+    foreach (p, dom)             -> for p in foreach(dom)
+"""
+
+from repro.arrays.point import Point, POINT
+from repro.arrays.rectdomain import RectDomain, RECTDOMAIN
+from repro.arrays.domain import Domain
+from repro.arrays.ndarray import NdArray, ndarray, ARRAY
+from repro.arrays.foreach import foreach, foreach_tuples
+from repro.arrays.distarray import DistNdArray, process_grid
+
+__all__ = [
+    "Point", "POINT",
+    "RectDomain", "RECTDOMAIN",
+    "Domain",
+    "NdArray", "ndarray", "ARRAY",
+    "foreach", "foreach_tuples",
+    "DistNdArray", "process_grid",
+]

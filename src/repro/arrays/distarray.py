@@ -1,0 +1,289 @@
+"""Distributed multidimensional arrays — the paper's *future work*,
+built here as an extension.
+
+The paper's §III-E closes with: "In the future, we plan to take further
+advantage of this capability by building true distributed
+multidimensional arrays on top of the current non-distributed library."
+:class:`DistNdArray` is that construction, done exactly the way the
+paper prescribes for today's users: a directory of per-rank
+:class:`~repro.arrays.ndarray.NdArray` handles (the
+``shared_array< ndarray<int, 3> > dir(THREADS)`` idiom), plus the
+single-statement ghost update ``A.constrict(ghost).copy(B)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+import numpy as np
+
+from repro.arrays.ndarray import NdArray, ndarray
+from repro.arrays.point import Point
+from repro.arrays.rectdomain import RectDomain
+from repro.core import collectives
+from repro.core.directory import Directory
+from repro.core.world import current
+from repro.errors import DomainError
+
+
+def process_grid(nranks: int, ndim: int) -> tuple[int, ...]:
+    """Factor ``nranks`` into an ``ndim``-d grid, as square as possible
+    (MPI ``MPI_Dims_create`` flavour).  Largest factors first."""
+    dims = [1] * ndim
+    remaining = nranks
+    # Repeatedly strip the smallest prime factor and give it to the
+    # currently smallest grid dimension.
+    factors = []
+    n = remaining
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for f in sorted(factors, reverse=True):
+        dims[int(np.argmin(dims))] *= f
+    return tuple(sorted(dims, reverse=True))
+
+
+def _split_extent(lo: int, hi: int, parts: int, which: int) -> tuple[int, int]:
+    """Near-equal contiguous split of [lo, hi) into ``parts`` pieces."""
+    n = hi - lo
+    base, extra = divmod(n, parts)
+    start = lo + which * base + min(which, extra)
+    length = base + (1 if which < extra else 0)
+    return start, start + length
+
+
+class DistNdArray:
+    """An N-d array block-partitioned across all ranks, with ghost zones.
+
+    Collective constructor.  Each rank owns a contiguous block of the
+    global domain (``my_interior``) stored in an :class:`NdArray` whose
+    domain is the interior *accreted* by ``ghost`` layers; neighbours'
+    handles come from a :class:`~repro.core.directory.Directory`.
+    """
+
+    def __init__(self, dtype, global_domain: RectDomain, ghost: int = 0,
+                 pgrid: tuple[int, ...] | None = None,
+                 periodic: bool | tuple = False):
+        if any(s != 1 for s in global_domain.stride):
+            raise DomainError("DistNdArray requires a unit-stride domain")
+        if ghost < 0:
+            raise DomainError("ghost width must be non-negative")
+        ctx = current()
+        nranks = ctx.world.n_ranks
+        ndim = global_domain.dim
+        self.dtype = np.dtype(dtype)
+        self.global_domain = global_domain
+        self.ghost = int(ghost)
+        self.pgrid = tuple(pgrid) if pgrid else process_grid(nranks, ndim)
+        if len(self.pgrid) != ndim:
+            raise DomainError(
+                f"process grid {self.pgrid} does not match {ndim}-d domain"
+            )
+        used = 1
+        for p in self.pgrid:
+            used *= p
+        if used != nranks:
+            raise DomainError(
+                f"process grid {self.pgrid} needs {used} ranks, have {nranks}"
+            )
+        for p, n in zip(self.pgrid, global_domain.shape):
+            if p > n:
+                raise DomainError(
+                    f"process grid {self.pgrid} exceeds domain shape "
+                    f"{global_domain.shape}"
+                )
+        if periodic is True:
+            self.periodic = tuple([True] * ndim)
+        elif periodic is False:
+            self.periodic = tuple([False] * ndim)
+        else:
+            self.periodic = tuple(bool(p) for p in periodic)
+            if len(self.periodic) != ndim:
+                raise DomainError("periodic flags must match arity")
+        if any(self.periodic):
+            for d, (p, n) in enumerate(zip(self.pgrid,
+                                           global_domain.shape)):
+                if self.periodic[d] and ghost > n // max(1, p):
+                    raise DomainError(
+                        "ghost width exceeds a periodic block extent"
+                    )
+        self.my_coords = self.coords_of(ctx.rank)
+        self.my_interior = self.interior_of(ctx.rank)
+        self.local = ndarray(
+            self.dtype,
+            self.my_interior.accrete(self.ghost) if ghost else self.my_interior,
+        )
+        self._dir = Directory()
+        self._dir.publish(self.local)
+        collectives.barrier()
+
+    # -- rank <-> block geometry ------------------------------------------
+    def coords_of(self, rank: int) -> Point:
+        """Process-grid coordinates of ``rank`` (row-major)."""
+        coords = []
+        for p in reversed(self.pgrid):
+            coords.append(rank % p)
+            rank //= p
+        return Point(*reversed(coords))
+
+    def rank_of(self, coords) -> int:
+        coords = coords if isinstance(coords, Point) else Point(coords)
+        rank = 0
+        for c, p in zip(coords, self.pgrid):
+            if not 0 <= c < p:
+                raise DomainError(f"grid coords {coords} outside {self.pgrid}")
+            rank = rank * p + c
+        return rank
+
+    def interior_of(self, rank: int) -> RectDomain:
+        """The global subdomain owned by ``rank`` (no ghosts)."""
+        coords = self.coords_of(rank)
+        lbs, ubs = [], []
+        for d in range(self.global_domain.dim):
+            lo, hi = _split_extent(
+                self.global_domain.lb[d], self.global_domain.ub[d],
+                self.pgrid[d], coords[d],
+            )
+            lbs.append(lo)
+            ubs.append(hi)
+        return RectDomain(Point(*lbs), Point(*ubs))
+
+    def owner_of(self, pt) -> int:
+        """Rank owning global point ``pt``."""
+        pt = pt if isinstance(pt, Point) else Point(pt)
+        if pt not in self.global_domain:
+            raise DomainError(f"{pt} outside the global domain")
+        coords = []
+        for d in range(self.global_domain.dim):
+            lo, hi = self.global_domain.lb[d], self.global_domain.ub[d]
+            parts = self.pgrid[d]
+            # invert _split_extent by scanning the (few) parts
+            for which in range(parts):
+                s, e = _split_extent(lo, hi, parts, which)
+                if s <= pt[d] < e:
+                    coords.append(which)
+                    break
+        return self.rank_of(coords)
+
+    def remote(self, rank: int) -> NdArray:
+        """The NdArray handle of ``rank`` (cached directory lookup)."""
+        return self._dir.lookup(rank)
+
+    # -- global element access --------------------------------------------
+    def __getitem__(self, index):
+        pt = index if isinstance(index, Point) else Point(index)
+        return self.remote(self.owner_of(pt))[pt]
+
+    def __setitem__(self, index, value) -> None:
+        pt = index if isinstance(index, Point) else Point(index)
+        self.remote(self.owner_of(pt))[pt] = value
+
+    # -- ghost exchange ------------------------------------------------------
+    def neighbors(self) -> Iterator[tuple[int, Point]]:
+        """(rank, grid-offset) of every face/edge/corner neighbour —
+        up to 3^N - 1 of them (LULESH's 26 in 3-D).  Along periodic
+        axes the grid wraps, so edge ranks see neighbours on the far
+        side (possibly themselves)."""
+        for offs in itertools.product((-1, 0, 1), repeat=len(self.pgrid)):
+            if all(o == 0 for o in offs):
+                continue
+            coords = list(self.my_coords + Point(*offs))
+            ok = True
+            for d, (c, p) in enumerate(zip(coords, self.pgrid)):
+                if 0 <= c < p:
+                    continue
+                if self.periodic[d]:
+                    coords[d] = c % p
+                else:
+                    ok = False
+                    break
+            if ok:
+                yield self.rank_of(coords), Point(*offs)
+
+    def ghost_exchange(self, faces_only: bool = True) -> None:
+        """Fill this rank's ghost cells from the neighbours' interiors.
+
+        Each transfer is the paper's one-statement one-sided update::
+
+            local.constrict(halo_region).copy(neighbor_array)
+
+        ``faces_only=True`` exchanges the 2N face slabs (enough for a
+        7-point stencil); ``False`` also fills edge/corner ghosts.
+        Collective: all ranks must call it (a barrier delimits the
+        exchange epoch).
+        """
+        if self.ghost == 0:
+            raise DomainError("array was created without ghost zones")
+        collectives.barrier()  # neighbours' interiors are settled
+        extents = tuple(
+            u - l for l, u in zip(self.global_domain.lb,
+                                  self.global_domain.ub)
+        )
+        for nbr_rank, offs in self.neighbors():
+            if faces_only and sum(abs(o) for o in offs) != 1:
+                continue
+            halo = self._halo_region(offs)
+            if halo.is_empty:
+                continue
+            src = self.remote(nbr_rank)
+            # Periodic wrap: my halo lies outside the global domain, so
+            # shift the (far-side) neighbour's view to overlap it.
+            shift = [0] * len(offs)
+            for d, o in enumerate(offs):
+                nc = self.my_coords[d] + o
+                if nc < 0:
+                    shift[d] = -extents[d]
+                elif nc >= self.pgrid[d]:
+                    shift[d] = extents[d]
+            if any(shift):
+                src = src.translate(Point(*shift))
+            self.local.constrict(halo).copy(src)
+        collectives.barrier()  # everyone's ghosts are filled
+
+    def _halo_region(self, offs: Point) -> RectDomain:
+        """My ghost cells in direction ``offs`` (global coordinates)."""
+        lb, ub = list(self.my_interior.lb), list(self.my_interior.ub)
+        for d, o in enumerate(offs):
+            if o < 0:
+                ub[d] = lb[d]
+                lb[d] = lb[d] - self.ghost
+            elif o > 0:
+                lb[d] = ub[d]
+                ub[d] = ub[d] + self.ghost
+        return RectDomain(Point(*lb), Point(*ub))
+
+    # -- whole-array utilities ------------------------------------------------
+    def interior_view(self) -> np.ndarray:
+        """Writable NumPy view of my interior (no ghosts)."""
+        return self.local.constrict(self.my_interior).local_view()
+
+    def to_numpy(self) -> np.ndarray:
+        """Gather the whole global array on the caller (verification aid)."""
+        out = np.empty(self.global_domain.shape, dtype=self.dtype)
+        ctx = current()
+        for r in range(ctx.world.n_ranks):
+            dom = self.interior_of(r)
+            block = (
+                self.remote(r).constrict(dom).to_numpy()
+                if r != ctx.rank
+                else self.interior_view().copy()
+            )
+            sl = tuple(
+                slice(dom.lb[d] - self.global_domain.lb[d],
+                      dom.ub[d] - self.global_domain.lb[d])
+                for d in range(dom.dim)
+            )
+            out[sl] = block
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"DistNdArray(dtype={self.dtype}, global={self.global_domain}, "
+            f"pgrid={self.pgrid}, ghost={self.ghost})"
+        )

@@ -1,0 +1,169 @@
+"""General (multi-rectangle) domains.
+
+Union and difference of rectangles are generally not rectangles; a
+:class:`Domain` holds a list of *disjoint* :class:`RectDomain` pieces.
+Titanium exposes the same split: ``RectDomain`` for the common regular
+case, ``Domain`` for results of domain algebra (e.g. "interior = whole -
+ghost shells").
+
+Union/difference require the operands' strides to match componentwise
+(all practical uses — ghost regions, boundaries — are unit-stride);
+intersection is exact for arbitrary strides via
+:meth:`RectDomain.intersect`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.arrays.point import Point
+from repro.arrays.rectdomain import RectDomain
+from repro.errors import DomainError
+
+
+def _rect_minus_rect(a: RectDomain, b: RectDomain) -> list[RectDomain]:
+    """a - b as a list of disjoint rects (strides must match)."""
+    if a.stride != b.stride:
+        raise DomainError(
+            "difference requires matching strides "
+            f"({tuple(a.stride)} vs {tuple(b.stride)})"
+        )
+    inter = a.intersect(b)
+    if inter.is_empty:
+        return [a] if not a.is_empty else []
+    pieces: list[RectDomain] = []
+    # Sweep axis by axis: carve off the slabs of `a` strictly below and
+    # strictly above the intersection in each dimension, shrinking the
+    # working box as we go; what remains at the end equals `inter`.
+    lb, ub = list(a.lb), list(a.ub)
+    for d in range(a.dim):
+        if lb[d] < inter.lb[d]:
+            lo = RectDomain(
+                Point(*lb),
+                Point(*(ub[:d] + [inter.lb[d]] + ub[d + 1:])),
+                a.stride,
+            )
+            if not lo.is_empty:
+                pieces.append(lo)
+        hi_start = inter.max_point()[d] + a.stride[d]
+        if hi_start < ub[d]:
+            hi = RectDomain(
+                Point(*(lb[:d] + [hi_start] + lb[d + 1:])),
+                Point(*ub),
+                a.stride,
+            )
+            if not hi.is_empty:
+                pieces.append(hi)
+        lb[d] = inter.lb[d]
+        ub[d] = hi_start
+    return pieces
+
+
+class Domain:
+    """A finite union of disjoint rectangular domains."""
+
+    __slots__ = ("rects", "dim")
+
+    def __init__(self, rects: Iterable[RectDomain] = ()):
+        pieces = [r for r in rects if not r.is_empty]
+        if pieces:
+            dim = pieces[0].dim
+            if any(r.dim != dim for r in pieces):
+                raise DomainError("mixed-arity domain")
+        else:
+            dim = 0
+        # Make the list disjoint: each new rect subtracts everything
+        # already accepted.
+        disjoint: list[RectDomain] = []
+        for r in pieces:
+            fragments = [r]
+            for seen in disjoint:
+                fragments = [
+                    f for frag in fragments for f in _rect_minus_rect(frag, seen)
+                ]
+            disjoint.extend(fragments)
+        self.rects: tuple[RectDomain, ...] = tuple(disjoint)
+        self.dim = dim if pieces else 0
+
+    # -- queries --------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return sum(r.size for r in self.rects)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.size == 0
+
+    def __contains__(self, pt) -> bool:
+        return any(pt in r for r in self.rects)
+
+    def __iter__(self) -> Iterator[Point]:
+        for r in self.rects:
+            yield from r
+
+    def point_set(self) -> frozenset:
+        """All points as a frozenset (testing/verification aid)."""
+        return frozenset(tuple(p) for p in self)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, RectDomain):
+            other = Domain([other])
+        if not isinstance(other, Domain):
+            return NotImplemented
+        if self.size != other.size:
+            return False
+        return all(p in other for p in self)
+
+    def __hash__(self):
+        raise TypeError("Domain is not hashable (set semantics)")
+
+    # -- algebra ---------------------------------------------------------
+    @staticmethod
+    def _as_domain(x) -> "Domain":
+        if isinstance(x, RectDomain):
+            return Domain([x])
+        if isinstance(x, Domain):
+            return x
+        raise DomainError(f"not a domain: {x!r}")
+
+    def __add__(self, other) -> "Domain":
+        other = Domain._as_domain(other)
+        return Domain(list(self.rects) + list(other.rects))
+
+    __or__ = __add__
+
+    def __sub__(self, other) -> "Domain":
+        other = Domain._as_domain(other)
+        remaining = list(self.rects)
+        for b in other.rects:
+            remaining = [
+                f for frag in remaining for f in _rect_minus_rect(frag, b)
+            ]
+        return Domain(remaining)
+
+    def __mul__(self, other) -> "Domain":
+        other = Domain._as_domain(other)
+        out = []
+        for a in self.rects:
+            for b in other.rects:
+                out.append(a.intersect(b))
+        return Domain(out)
+
+    __and__ = __mul__
+
+    def translate(self, pt) -> "Domain":
+        return Domain([r.translate(pt) for r in self.rects])
+
+    def bounding_box(self) -> RectDomain:
+        """The smallest unit-stride rect containing every point."""
+        if self.is_empty:
+            raise DomainError("empty domain has no bounding box")
+        lb = self.rects[0].lb
+        ub_incl = self.rects[0].max_point()
+        for r in self.rects[1:]:
+            lb = lb.min(r.lb)
+            ub_incl = ub_incl.max(r.max_point())
+        return RectDomain(lb, ub_incl + 1)
+
+    def __repr__(self) -> str:
+        return f"Domain[{', '.join(map(repr, self.rects))}]"

@@ -1,0 +1,35 @@
+"""Unordered domain iteration — the paper's ``foreach`` macro.
+
+Titanium's ``foreach (p in dom)`` binds ``p`` to each point of a domain;
+iterations run sequentially on the calling thread (unlike
+``upc_forall``).  In Python the natural spelling is a generator::
+
+    for p in foreach(interior):          # p is a Point
+        B[p] = c * A[p] + ...
+
+    for (i, j, k) in foreach(interior):  # points unpack (paper's foreach3)
+        B[i, j, k] = c * A[i, j, k] + ...
+
+The iteration order is row-major but, as in Titanium, programs must not
+rely on it ("unordered iteration") — a property the test suite checks by
+asserting order-independence of reference kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.arrays.point import Point
+from repro.arrays.rectdomain import RectDomain
+
+
+def foreach(dom) -> Iterator[Point]:
+    """Iterate over every point of a RectDomain or Domain."""
+    return iter(dom)
+
+
+def foreach_tuples(dom: RectDomain) -> Iterator[tuple[int, ...]]:
+    """Like :func:`foreach` but yields plain tuples (slightly faster in
+    tight Python loops; identical contents)."""
+    for p in dom:
+        yield tuple(p)

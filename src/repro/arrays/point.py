@@ -1,0 +1,160 @@
+"""Points: coordinates in N-dimensional index space (paper §III-E).
+
+A :class:`Point` is an immutable tuple of integers with elementwise
+arithmetic.  Being a tuple subclass, a point unpacks naturally::
+
+    for (i, j, k) in foreach(interior):   # paper's foreach3(i, j, k, ...)
+        ...
+
+Indexing is 0-based (Pythonic), unlike Titanium's 1-based ``pt[1]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import DomainError
+
+
+class Point(tuple):
+    """An N-dimensional integer coordinate."""
+
+    __slots__ = ()
+
+    def __new__(cls, *coords):
+        if len(coords) == 1 and isinstance(coords[0], Iterable) and not isinstance(
+            coords[0], (int, float)
+        ):
+            coords = tuple(coords[0])
+        vals = []
+        for c in coords:
+            if not isinstance(c, (int,)) and not (
+                hasattr(c, "__index__")
+            ):
+                raise DomainError(f"point coordinates must be integers, got {c!r}")
+            vals.append(int(c))
+        if not vals:
+            raise DomainError("points must have at least one dimension")
+        return super().__new__(cls, vals)
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Arity (the N of N-dimensional)."""
+        return len(self)
+
+    @staticmethod
+    def all(value: int, dim: int) -> "Point":
+        """The point (value, value, ..., value) of arity ``dim``."""
+        return Point(*([int(value)] * dim))
+
+    @staticmethod
+    def zero(dim: int) -> "Point":
+        return Point.all(0, dim)
+
+    @staticmethod
+    def ones(dim: int) -> "Point":
+        return Point.all(1, dim)
+
+    def replace(self, axis: int, value: int) -> "Point":
+        """Copy with coordinate ``axis`` set to ``value``."""
+        coords = list(self)
+        coords[axis] = int(value)
+        return Point(*coords)
+
+    def drop(self, axis: int) -> "Point":
+        """Copy with coordinate ``axis`` removed (used by slicing)."""
+        if self.dim == 1:
+            raise DomainError("cannot drop the last dimension of a point")
+        coords = list(self)
+        del coords[axis]
+        return Point(*coords)
+
+    def permute(self, perm: Iterable[int]) -> "Point":
+        perm = tuple(perm)
+        if sorted(perm) != list(range(self.dim)):
+            raise DomainError(f"{perm} is not a permutation of 0..{self.dim - 1}")
+        return Point(*(self[p] for p in perm))
+
+    # -- arithmetic ----------------------------------------------------------
+    def _coerce(self, other) -> "Point":
+        if isinstance(other, Point):
+            if other.dim != self.dim:
+                raise DomainError(
+                    f"arity mismatch: {self.dim}-d vs {other.dim}-d point"
+                )
+            return other
+        if isinstance(other, int):
+            return Point.all(other, self.dim)
+        if isinstance(other, tuple):
+            return Point(*other)
+        return NotImplemented  # type: ignore[return-value]
+
+    def _zip(self, other, op) -> "Point":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented  # type: ignore[return-value]
+        return Point(*(op(a, b) for a, b in zip(self, o)))
+
+    def __add__(self, other):
+        return self._zip(other, lambda a, b: a + b)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._zip(other, lambda a, b: a - b)
+
+    def __rsub__(self, other):
+        o = self._coerce(other)
+        return o - self if o is not NotImplemented else NotImplemented
+
+    def __mul__(self, other):
+        return self._zip(other, lambda a, b: a * b)
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other):
+        return self._zip(other, lambda a, b: a // b)
+
+    def __mod__(self, other):
+        return self._zip(other, lambda a, b: a % b)
+
+    def __neg__(self) -> "Point":
+        return Point(*(-a for a in self))
+
+    # -- domination order (componentwise) -------------------------------------
+    # NOTE: tuple's lexicographic <, <= are *shadowed* by the componentwise
+    # partial order, which is what domain logic needs.
+    def __lt__(self, other) -> bool:
+        o = self._coerce(other)
+        return all(a < b for a, b in zip(self, o))
+
+    def __le__(self, other) -> bool:
+        o = self._coerce(other)
+        return all(a <= b for a, b in zip(self, o))
+
+    def __gt__(self, other) -> bool:
+        o = self._coerce(other)
+        return all(a > b for a, b in zip(self, o))
+
+    def __ge__(self, other) -> bool:
+        o = self._coerce(other)
+        return all(a >= b for a, b in zip(self, o))
+
+    def min(self, other) -> "Point":
+        return self._zip(other, min)
+
+    def max(self, other) -> "Point":
+        return self._zip(other, max)
+
+    def dot(self, other) -> int:
+        o = self._coerce(other)
+        return sum(a * b for a, b in zip(self, o))
+
+    def __repr__(self) -> str:
+        return f"Point{tuple(self)}"
+
+
+def POINT(*coords) -> Point:
+    """The paper's POINT(...) macro shorthand."""
+    return Point(*coords)

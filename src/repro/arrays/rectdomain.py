@@ -1,0 +1,315 @@
+"""Rectangular domains (paper §III-E, Table II).
+
+A :class:`RectDomain` is the set of points::
+
+    { lb + k * stride : 0 <= k, componentwise, lb + k*stride < ub }
+
+with an **exclusive** upper bound (the paper's deliberate deviation from
+Titanium's inclusive bound, footnote 1).  Intersection of strided
+domains is exact (per-dimension Chinese-remainder solve); union and
+difference generally produce multi-rectangle :class:`~repro.arrays.domain.Domain`
+objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from math import gcd
+from typing import Iterator
+
+from repro.arrays.point import Point
+from repro.errors import DomainError
+
+
+def _egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended gcd: returns (g, x, y) with a*x + b*y == g."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def _intersect_1d(lo1, hi1, s1, lo2, hi2, s2):
+    """Intersect two 1-D strided ranges; returns (lo, hi, stride) or None.
+
+    Solves x ≡ lo1 (mod s1), x ≡ lo2 (mod s2) on [max(lo1,lo2), min(hi1,hi2)).
+    """
+    lo = max(lo1, lo2)
+    hi = min(hi1, hi2)
+    if lo >= hi:
+        return None
+    g, p, _q = _egcd(s1, s2)
+    if (lo2 - lo1) % g:
+        return None  # congruences incompatible: empty
+    lcm = s1 // g * s2
+    # x = lo1 + s1 * t ; need lo1 + s1*t ≡ lo2 (mod s2)
+    t = ((lo2 - lo1) // g * p) % (s2 // g)
+    x0 = lo1 + s1 * t  # smallest solution ≥ lo1 in the combined lattice
+    if x0 < lo:
+        x0 += ((lo - x0 + lcm - 1) // lcm) * lcm
+    if x0 >= hi:
+        return None
+    return (x0, hi, lcm)
+
+
+class RectDomain:
+    """A strided N-dimensional rectangle of integer points."""
+
+    __slots__ = ("lb", "ub", "stride")
+
+    def __init__(self, lb, ub, stride=None):
+        self.lb = lb if isinstance(lb, Point) else Point(lb)
+        self.ub = ub if isinstance(ub, Point) else Point(ub)
+        if self.lb.dim != self.ub.dim:
+            raise DomainError("lower/upper bound arity mismatch")
+        if stride is None:
+            stride = Point.ones(self.lb.dim)
+        self.stride = stride if isinstance(stride, Point) else Point(stride)
+        if self.stride.dim != self.lb.dim:
+            raise DomainError("stride arity mismatch")
+        if any(s < 1 for s in self.stride):
+            raise DomainError(f"strides must be positive, got {self.stride}")
+
+    # -- basic geometry -------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self.lb.dim
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Points per dimension."""
+        return tuple(
+            max(0, -(-(u - l) // s))
+            for l, u, s in zip(self.lb, self.ub, self.stride)
+        )
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def is_empty(self) -> bool:
+        return self.size == 0
+
+    def min_point(self) -> Point:
+        if self.is_empty:
+            raise DomainError("empty domain has no min point")
+        return self.lb
+
+    def max_point(self) -> Point:
+        """The largest point actually contained (inclusive)."""
+        if self.is_empty:
+            raise DomainError("empty domain has no max point")
+        return Point(
+            *(l + (n - 1) * s for l, n, s in zip(self.lb, self.shape, self.stride))
+        )
+
+    def __contains__(self, pt) -> bool:
+        pt = pt if isinstance(pt, Point) else Point(pt)
+        if pt.dim != self.dim:
+            return False
+        return all(
+            l <= c < u and (c - l) % s == 0
+            for c, l, u, s in zip(pt, self.lb, self.ub, self.stride)
+        )
+
+    def __iter__(self) -> Iterator[Point]:
+        """Row-major iteration over contained points."""
+        axes = [
+            range(l, l + n * s, s)
+            for l, n, s in zip(self.lb, self.shape, self.stride)
+        ]
+        for coords in itertools.product(*axes):
+            yield Point(*coords)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RectDomain):
+            return NotImplemented
+        if self.is_empty and other.is_empty and self.dim == other.dim:
+            return True
+        return (
+            self.lb == other.lb
+            and self.shape == other.shape
+            and self.stride == other.stride
+        )
+
+    def __hash__(self) -> int:
+        if self.is_empty:
+            return hash(("empty", self.dim))
+        return hash((tuple(self.lb), self.shape, tuple(self.stride)))
+
+    # -- algebra ---------------------------------------------------------------
+    def intersect(self, other: "RectDomain") -> "RectDomain":
+        """Exact intersection (the paper's ``rd1 * rd2``)."""
+        if self.dim != other.dim:
+            raise DomainError("intersection of domains of different arity")
+        lbs, ubs, strides = [], [], []
+        for d in range(self.dim):
+            r = _intersect_1d(
+                self.lb[d], self.ub[d], self.stride[d],
+                other.lb[d], other.ub[d], other.stride[d],
+            )
+            if r is None:
+                return RectDomain(
+                    Point.zero(self.dim), Point.zero(self.dim)
+                )
+            lo, hi, st = r
+            lbs.append(lo)
+            ubs.append(hi)
+            strides.append(st)
+        return RectDomain(Point(*lbs), Point(*ubs), Point(*strides))
+
+    def __mul__(self, other):
+        if isinstance(other, RectDomain):
+            return self.intersect(other)
+        return NotImplemented
+
+    def __add__(self, other):
+        """Union — generally a multi-rectangle Domain (paper rd1 + rd2)."""
+        from repro.arrays.domain import Domain
+
+        if isinstance(other, RectDomain):
+            return Domain([self]) + Domain([other])
+        return NotImplemented
+
+    def __sub__(self, other):
+        """Set difference — a multi-rectangle Domain."""
+        from repro.arrays.domain import Domain
+
+        if isinstance(other, RectDomain):
+            return Domain([self]) - Domain([other])
+        return NotImplemented
+
+    # -- transformations ----------------------------------------------------
+    def translate(self, pt) -> "RectDomain":
+        pt = pt if isinstance(pt, Point) else Point(pt)
+        return RectDomain(self.lb + pt, self.ub + pt, self.stride)
+
+    def permute(self, perm) -> "RectDomain":
+        perm = tuple(perm)
+        return RectDomain(
+            self.lb.permute(perm), self.ub.permute(perm),
+            self.stride.permute(perm),
+        )
+
+    def slice(self, axis: int, coord: int) -> "RectDomain":
+        """The (N-1)-d domain obtained by fixing one coordinate."""
+        if not 0 <= axis < self.dim:
+            raise DomainError(f"axis {axis} out of range")
+        probe = self.lb.replace(axis, coord)
+        if not (
+            self.lb[axis] <= coord < self.ub[axis]
+            and (coord - self.lb[axis]) % self.stride[axis] == 0
+        ):
+            raise DomainError(f"coordinate {coord} not in axis {axis} extent")
+        return RectDomain(
+            self.lb.drop(axis), self.ub.drop(axis), self.stride.drop(axis)
+        )
+
+    def shrink(self, k: int) -> "RectDomain":
+        """Erode ``k`` index units off every face (interior of a grid
+        with ghost width k).  Defined for unit-stride domains."""
+        self._require_unit_stride("shrink")
+        return RectDomain(self.lb + k, self.ub - k, self.stride)
+
+    def accrete(self, k: int) -> "RectDomain":
+        """Dilate by ``k`` index units on every face (add ghost zones)."""
+        self._require_unit_stride("accrete")
+        return RectDomain(self.lb - k, self.ub + k, self.stride)
+
+    def border(self, axis: int, side: int, width: int = 1) -> "RectDomain":
+        """The slab of ``width`` layers just *inside* one face.
+
+        ``side`` is -1 (low face) or +1 (high face).  The classic ghost
+        source region: ``grid.interior.border(d, +1)`` is what a neighbour
+        at +d needs.
+        """
+        self._require_unit_stride("border")
+        if side not in (-1, 1):
+            raise DomainError("side must be -1 or +1")
+        lb, ub = list(self.lb), list(self.ub)
+        if side < 0:
+            ub[axis] = min(ub[axis], lb[axis] + width)
+        else:
+            lb[axis] = max(lb[axis], ub[axis] - width)
+        return RectDomain(Point(*lb), Point(*ub), self.stride)
+
+    def halo(self, axis: int, side: int, width: int = 1) -> "RectDomain":
+        """The slab of ``width`` layers just *outside* one face (where
+        ghost data lands)."""
+        self._require_unit_stride("halo")
+        if side not in (-1, 1):
+            raise DomainError("side must be -1 or +1")
+        lb, ub = list(self.lb), list(self.ub)
+        if side < 0:
+            ub[axis] = lb[axis]
+            lb[axis] = lb[axis] - width
+        else:
+            lb[axis] = ub[axis]
+            ub[axis] = ub[axis] + width
+        return RectDomain(Point(*lb), Point(*ub), self.stride)
+
+    def inject(self, factor) -> "RectDomain":
+        """Scale every point by ``factor`` (Titanium's inject): the
+        domain {p * factor : p ∈ D}.  Stride scales accordingly — the
+        standard trick for embedding a coarse grid in a fine index
+        space (multigrid)."""
+        factor = factor if isinstance(factor, Point) else \
+            Point.all(int(factor), self.dim)
+        if any(f < 1 for f in factor):
+            raise DomainError("inject factor must be positive")
+        if self.is_empty:
+            return RectDomain(self.lb * factor, self.lb * factor,
+                              self.stride * factor)
+        return RectDomain(
+            self.lb * factor,
+            self.max_point() * factor + 1,
+            self.stride * factor,
+        )
+
+    def project(self, factor) -> "RectDomain":
+        """Divide every point by ``factor`` (Titanium's project):
+        {p // factor : p ∈ D}.  Requires the lattice to be divisible
+        (lb and stride multiples of factor) so the map is exact."""
+        factor = factor if isinstance(factor, Point) else \
+            Point.all(int(factor), self.dim)
+        if any(f < 1 for f in factor):
+            raise DomainError("project factor must be positive")
+        if self.is_empty:
+            return RectDomain(self.lb // factor, self.lb // factor,
+                              Point.ones(self.dim))
+        if any(l % f or s % f
+               for l, s, f in zip(self.lb, self.stride, factor)):
+            raise DomainError(
+                "project requires lb and stride divisible by the factor"
+            )
+        return RectDomain(
+            self.lb // factor,
+            self.max_point() // factor + 1,
+            self.stride // factor,
+        )
+
+    def _require_unit_stride(self, what: str) -> None:
+        if any(s != 1 for s in self.stride):
+            raise DomainError(f"{what} requires a unit-stride domain")
+
+    def __repr__(self) -> str:
+        if all(s == 1 for s in self.stride):
+            return f"RectDomain({tuple(self.lb)}, {tuple(self.ub)})"
+        return (
+            f"RectDomain({tuple(self.lb)}, {tuple(self.ub)}, "
+            f"stride={tuple(self.stride)})"
+        )
+
+
+def RECTDOMAIN(lb, ub, stride=None) -> RectDomain:
+    """The paper's RECTDOMAIN((lb...), (ub...), (stride...)) macro."""
+    return RectDomain(lb, ub, stride)

@@ -1,0 +1,337 @@
+"""Mini-LULESH — paper §V-E (shock hydrodynamics proxy).
+
+Per DESIGN.md §2 this is a substitution: a compact Lagrangian-flavoured
+hydro proxy that reproduces the *communication skeleton* the paper
+measures — a 3-D domain decomposition over a perfect-cube process grid
+where every rank talks to its **26 neighbours** (faces, edges and
+corners), exchanged data is **non-contiguous** (packed/unpacked), a
+**dt all-reduce** happens every step, and the whole thing runs in two
+interchangeable communication modes:
+
+* ``one-sided`` (the UPC++ port): ghost zones filled with one-sided
+  array copies (``constrict(halo).copy(remote)``), one fence per phase;
+* ``two-sided`` (the MPI baseline): explicit pack → ``Isend``/``Irecv``
+  → wait → unpack through :mod:`repro.compat.mpi`, retaining the
+  original code's structure as the paper describes.
+
+The physics: compressible Euler (ideal gas) on a uniform grid with a
+dimensionally-split Lax–Friedrichs update plus a 27-point artificial
+smoothing term (which is what makes the *corner* neighbours real data
+dependencies), driven by a Sedov-like point blast.  Verification checks
+(a) the two communication modes produce bit-identical fields, (b) the
+distributed run matches a serial NumPy reference, and (c) mass/energy
+drift stays tiny while the blast is far from the boundary.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro
+from repro.arrays import DistNdArray, Point, RectDomain
+from repro.compat import mpi
+
+GAMMA = 1.4
+CFL = 0.3
+SMOOTH_EPS = 0.02
+FIELDS = ("rho", "E", "mx", "my", "mz")
+
+
+# ---------------------------------------------------------------------------
+# physics kernel (pure NumPy on ghost-padded blocks)
+# ---------------------------------------------------------------------------
+
+def _primitives(U: dict) -> tuple:
+    rho = U["rho"]
+    inv_rho = 1.0 / rho
+    ux = U["mx"] * inv_rho
+    uy = U["my"] * inv_rho
+    uz = U["mz"] * inv_rho
+    kinetic = 0.5 * rho * (ux * ux + uy * uy + uz * uz)
+    p = (GAMMA - 1.0) * np.maximum(U["E"] - kinetic, 1e-12)
+    return ux, uy, uz, p
+
+
+def _fluxes(U: dict) -> dict:
+    """Euler fluxes along each axis for each conserved field."""
+    ux, uy, uz, p = _primitives(U)
+    Ep = U["E"] + p
+    return {
+        # axis 0 (x): advection velocity ux
+        0: {"rho": U["mx"], "E": Ep * ux,
+            "mx": U["mx"] * ux + p, "my": U["my"] * ux, "mz": U["mz"] * ux},
+        1: {"rho": U["my"], "E": Ep * uy,
+            "mx": U["mx"] * uy, "my": U["my"] * uy + p, "mz": U["mz"] * uy},
+        2: {"rho": U["mz"], "E": Ep * uz,
+            "mx": U["mx"] * uz, "my": U["my"] * uz, "mz": U["mz"] * uz + p},
+    }
+
+
+def _shift(a: np.ndarray, axis: int, step: int) -> np.ndarray:
+    """Interior-sized view of ``a`` displaced by ``step`` along ``axis``
+    (``a`` is ghost-padded by one on every side)."""
+    sl = [slice(1, -1)] * a.ndim
+    sl[axis] = slice(1 + step, a.shape[axis] - 1 + step)
+    return a[tuple(sl)]
+
+
+def _avg27(a: np.ndarray) -> np.ndarray:
+    """27-point average (the corner-coupled smoothing stencil)."""
+    acc = np.zeros(tuple(s - 2 for s in a.shape))
+    for dx, dy, dz in itertools.product((-1, 0, 1), repeat=3):
+        acc += a[1 + dx:a.shape[0] - 1 + dx,
+                 1 + dy:a.shape[1] - 1 + dy,
+                 1 + dz:a.shape[2] - 1 + dz]
+    return acc / 27.0
+
+
+def max_wavespeed(U: dict) -> float:
+    """max(|u| + c_s) over the interior (for the CFL dt)."""
+    ux, uy, uz, p = _primitives(U)
+    c = np.sqrt(GAMMA * p / U["rho"])
+    speed = np.sqrt(ux * ux + uy * uy + uz * uz) + c
+    return float(speed[1:-1, 1:-1, 1:-1].max())
+
+
+def lxf_step(U: dict, dt: float, dx: float) -> dict:
+    """One Lax–Friedrichs + smoothing step; returns interior updates."""
+    F = _fluxes(U)
+    out = {}
+    lam = dt / (2.0 * dx)
+    for name in FIELDS:
+        a = U[name]
+        face_avg = sum(
+            _shift(a, ax, s) for ax in range(3) for s in (-1, 1)
+        ) / 6.0
+        div = sum(
+            _shift(F[ax][name], ax, 1) - _shift(F[ax][name], ax, -1)
+            for ax in range(3)
+        )
+        new = face_avg - lam * div
+        out[name] = (1.0 - SMOOTH_EPS) * new + SMOOTH_EPS * _avg27(a)
+    return out
+
+
+def sedov_init(shape: tuple[int, ...], dx: float,
+               blast_energy: float = 10.0) -> dict:
+    """Uniform cold gas with an energy spike at the domain centre."""
+    U = {
+        "rho": np.ones(shape),
+        "E": np.full(shape, 1e-3),
+        "mx": np.zeros(shape),
+        "my": np.zeros(shape),
+        "mz": np.zeros(shape),
+    }
+    c = tuple(s // 2 for s in shape)
+    U["E"][c] = blast_energy / dx ** 3
+    return U
+
+
+def serial_reference(shape: tuple[int, ...], steps: int,
+                     dx: float = 1.0) -> dict:
+    """The oracle: run the same scheme on one padded global grid."""
+    U = sedov_init(shape, dx)
+    pad = {k: np.pad(v, 1, mode="edge") for k, v in U.items()}
+    for _ in range(steps):
+        dt = CFL * dx / max_wavespeed(pad)
+        upd = lxf_step(pad, dt, dx)
+        for k in FIELDS:
+            pad[k][1:-1, 1:-1, 1:-1] = upd[k]
+            # Neumann boundary: ghosts copy the adjacent interior cell.
+            _apply_edge_bc(pad[k])
+    return {k: v[1:-1, 1:-1, 1:-1].copy() for k, v in pad.items()}
+
+
+def _apply_edge_bc(a: np.ndarray) -> None:
+    a[0, :, :] = a[1, :, :]
+    a[-1, :, :] = a[-2, :, :]
+    a[:, 0, :] = a[:, 1, :]
+    a[:, -1, :] = a[:, -2, :]
+    a[:, :, 0] = a[:, :, 1]
+    a[:, :, -1] = a[:, :, -2]
+
+
+# ---------------------------------------------------------------------------
+# distributed proxy
+# ---------------------------------------------------------------------------
+
+#: Direction index <-> offset maps for the two-sided tag scheme.
+DIRECTIONS = [
+    Point(*offs)
+    for offs in itertools.product((-1, 0, 1), repeat=3)
+    if any(offs)
+]
+DIR_INDEX = {tuple(d): i for i, d in enumerate(DIRECTIONS)}
+
+
+def _interior_border(dist: DistNdArray, offs: Point) -> RectDomain:
+    """My interior cells that neighbour ``offs`` needs (pack source)."""
+    dom = dist.my_interior
+    for ax, o in enumerate(offs):
+        if o:
+            dom = dom.border(ax, o, dist.ghost)
+    return dom
+
+
+def _exchange_two_sided(dists: list[DistNdArray]) -> None:
+    """MPI-style ghost exchange: pack → Isend/Irecv → waitall → unpack.
+
+    This is deliberately the shape of the original LULESH communication
+    code ("a packing and unpacking strategy"): non-contiguous border
+    regions are copied into contiguous buffers around two-sided calls.
+    """
+    d0 = dists[0]
+    nbrs = list(d0.neighbors())
+    recv_reqs = []
+    for nbr_rank, offs in nbrs:
+        # neighbour sends us data tagged with *their* direction towards
+        # us, which is -offs.
+        tag = DIR_INDEX[tuple(-offs)]
+        recv_reqs.append((nbr_rank, offs, mpi.irecv(nbr_rank, tag)))
+    for nbr_rank, offs in nbrs:
+        packed = [
+            d.local.constrict(_interior_border(d, offs)).local_view().copy()
+            for d in dists
+        ]
+        mpi.send(packed, nbr_rank, DIR_INDEX[tuple(offs)])
+    for nbr_rank, offs, req in recv_reqs:
+        blocks = req.wait()
+        halo = dists[0]._halo_region(offs)
+        for d, block in zip(dists, blocks):
+            view = d.local.constrict(halo)
+            if not view.domain.is_empty:
+                view.local_view()[...] = block
+    repro.barrier()
+
+
+def _exchange_one_sided(dists: list[DistNdArray]) -> None:
+    """UPC++-style ghost exchange: one-sided halo copies, corners too."""
+    for d in dists:
+        d.ghost_exchange(faces_only=False)
+
+
+@dataclass
+class LuleshResult:
+    shape: tuple
+    steps: int
+    seconds: float
+    verified: bool
+    mass_drift: float
+    energy_drift: float
+    comm: str
+
+    @property
+    def fom_zones_per_sec(self) -> float:
+        zones = int(np.prod(self.shape)) * self.steps
+        return zones / self.seconds
+
+
+def lulesh(box: int = 6, steps: int = 3, comm: str = "one-sided",
+           verify: bool = True, dx: float = 1.0) -> LuleshResult:
+    """SPMD body.  Requires a perfect-cube rank count (paper's rule:
+    "the number of processes is required to be a perfect cube")."""
+    me, n = repro.myrank(), repro.ranks()
+    side = round(n ** (1 / 3))
+    if side ** 3 != n:
+        raise ValueError(
+            f"LULESH requires a perfect-cube number of ranks, got {n}"
+        )
+    pgrid = (side, side, side)
+    gshape = tuple(box * side for _ in range(3))
+    gdom = RectDomain(Point.zero(3), Point(*gshape))
+
+    dists = [
+        DistNdArray(np.float64, gdom, ghost=1, pgrid=pgrid)
+        for _ in FIELDS
+    ]
+    U0 = sedov_init(gshape, dx)
+    sl = tuple(
+        slice(dists[0].my_interior.lb[d], dists[0].my_interior.ub[d])
+        for d in range(3)
+    )
+    for d, name in zip(dists, FIELDS):
+        d.interior_view()[:] = U0[name][sl]
+    repro.barrier()
+
+    exchange = (_exchange_one_sided if comm == "one-sided"
+                else _exchange_two_sided)
+    mass0 = repro.collectives.allreduce(float(dists[0].interior_view().sum()))
+    energy0 = repro.collectives.allreduce(
+        float(dists[1].interior_view().sum())
+    )
+
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        exchange(dists)
+        _apply_physical_bc(dists)
+        padded = {
+            name: d.local.local_view() for d, name in zip(dists, FIELDS)
+        }
+        # Lagrange-leapfrog structure: local wavespeed, global dt
+        # reduction (the per-step allreduce of real LULESH) ...
+        local_speed = max_wavespeed(padded)
+        dt = CFL * dx / repro.collectives.allreduce(local_speed, op="max")
+        # ... then the element update.
+        upd = lxf_step(padded, dt, dx)
+        for d, name in zip(dists, FIELDS):
+            d.interior_view()[...] = upd[name]
+    repro.barrier()
+    dt_wall = time.perf_counter() - t0
+
+    mass1 = repro.collectives.allreduce(float(dists[0].interior_view().sum()))
+    energy1 = repro.collectives.allreduce(
+        float(dists[1].interior_view().sum())
+    )
+
+    verified = True
+    if verify:
+        ref = serial_reference(gshape, steps, dx)
+        ok = all(
+            np.allclose(d.interior_view(), ref[name][sl],
+                        rtol=1e-12, atol=1e-12)
+            for d, name in zip(dists, FIELDS)
+        )
+        verified = bool(repro.collectives.allreduce(int(ok), op="min"))
+
+    return LuleshResult(
+        shape=gshape, steps=steps, seconds=dt_wall, verified=verified,
+        mass_drift=abs(mass1 - mass0) / abs(mass0),
+        energy_drift=abs(energy1 - energy0) / abs(energy0),
+        comm=comm,
+    )
+
+
+def _apply_physical_bc(dists: list[DistNdArray]) -> None:
+    """Fill ghost layers that lie outside the global domain (Neumann)."""
+    d0 = dists[0]
+    for ax in range(3):
+        for side_, at_edge in ((-1, d0.my_interior.lb[ax]
+                                == d0.global_domain.lb[ax]),
+                               (1, d0.my_interior.ub[ax]
+                                == d0.global_domain.ub[ax])):
+            if not at_edge:
+                continue
+            for d in dists:
+                a = d.local.local_view()
+                sl_ghost = [slice(None)] * 3
+                sl_edge = [slice(None)] * 3
+                if side_ < 0:
+                    sl_ghost[ax] = 0
+                    sl_edge[ax] = 1
+                else:
+                    sl_ghost[ax] = a.shape[ax] - 1
+                    sl_edge[ax] = a.shape[ax] - 2
+                a[tuple(sl_ghost)] = a[tuple(sl_edge)]
+
+
+def run(ranks: int = 8, box: int = 6, steps: int = 3,
+        comm: str = "one-sided", verify: bool = True) -> LuleshResult:
+    """Launch in a fresh SPMD world; returns rank 0's result."""
+    return repro.spmd(
+        lulesh, ranks=ranks,
+        kwargs=dict(box=box, steps=steps, comm=comm, verify=verify),
+    )[0]

@@ -1,0 +1,202 @@
+"""Sample Sort — paper §V-C.
+
+Sorts a distributed array of 64-bit keys with the classic sample sort
+(Frazer & McKellar):
+
+1. keys are generated with a Mersenne-Twister-family generator into a
+   globally shared array (one slab per rank);
+2. each rank samples random *global* keys (fine-grained shared-array
+   reads — the paper's code excerpt), rank 0 sorts the candidates and
+   selects P-1 splitters, broadcast to all;
+3. keys are partitioned by splitter and redistributed;
+4. each rank quick-sorts its received keys.
+
+Variants differ in the redistribution transport:
+
+* ``upcxx`` — non-blocking **one-sided** puts into remote landing
+  buffers at offsets agreed through a counts exchange, completed with a
+  single ``async_copy_fence`` (the paper's "handle-less" style);
+* ``upc`` — ``upc_memput`` transfers through the UPC veneer.
+
+Verification: the concatenation of per-rank outputs must be a sorted
+permutation of the inputs — checked via per-rank sortedness, boundary
+ordering between ranks, and conservation of key counts/sum.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro
+from repro.compat import upc
+from repro.util.rng import mt_seed_for_rank
+
+
+@dataclass
+class SortResult:
+    variant: str
+    total_keys: int
+    seconds: float
+    verified: bool
+    max_skew: float  # max over ranks of received/expected keys
+
+    @property
+    def tb_per_min(self) -> float:
+        return self.total_keys * 8 / self.seconds * 60.0 / 1e12
+
+
+def _select_splitters(keys: repro.SharedArray, oversample: int,
+                      seed: int) -> np.ndarray:
+    """Phase 2: sample the key space, agree on P-1 splitters."""
+    me, n = repro.myrank(), repro.ranks()
+    rng = mt_seed_for_rank(seed + 7, me)
+    candidates = np.empty(oversample, dtype=np.uint64)
+    for i in range(oversample):
+        s = int(rng.integers(0, len(keys)))
+        candidates[i] = keys[s]  # global fine-grained accesses (paper)
+    allc = repro.collectives.gather(candidates, root=0)
+    if me == 0:
+        flat = np.sort(np.concatenate(allc))
+        # every P-th quantile of the oversampled candidates
+        picks = [flat[(i + 1) * len(flat) // n] for i in range(n - 1)]
+        splitters = np.asarray(picks, dtype=np.uint64)
+    else:
+        splitters = None
+    return repro.collectives.bcast(splitters, root=0)
+
+
+def _redistribute_one_sided(mine: np.ndarray, parts: list[np.ndarray]):
+    """Phase 3, UPC++ style: counts exchange, then one-sided puts."""
+    me, n = repro.myrank(), repro.ranks()
+    counts = [len(p) for p in parts]
+    # Every rank learns the full counts matrix -> offsets are computable
+    # locally and the data motion itself needs no handshakes.
+    matrix = np.asarray(repro.collectives.allgather(counts))  # [src][dst]
+    incoming = int(matrix[:, me].sum())
+    recv = repro.allocate(me, max(incoming, 1), np.uint64)
+    dirn = repro.Directory()
+    dirn.publish_and_sync(recv)
+    for dst in range(n):
+        if counts[dst] == 0:
+            continue
+        base = dirn.lookup(dst)
+        offset = int(matrix[:me, dst].sum())
+        # one-sided: put my partition into dst's landing zone
+        (base + offset).put(parts[dst])
+    repro.async_copy_fence()
+    repro.barrier()
+    out = recv.local(incoming).copy() if incoming else np.empty(
+        0, dtype=np.uint64
+    )
+    repro.barrier()
+    repro.deallocate(recv)
+    return out
+
+
+def _redistribute_upc(mine: np.ndarray, parts: list[np.ndarray]):
+    """Phase 3, UPC style: upc_memput through the veneer."""
+    me, n = repro.myrank(), repro.ranks()
+    counts = [len(p) for p in parts]
+    matrix = np.asarray(repro.collectives.allgather(counts))
+    incoming = int(matrix[:, me].sum())
+    recv = repro.allocate(me, max(incoming, 1), np.uint64)
+    dirn = repro.Directory()
+    dirn.publish_and_sync(recv)
+    for dst in range(n):
+        if counts[dst] == 0:
+            continue
+        base = dirn.lookup(dst)
+        offset = int(matrix[:me, dst].sum())
+        upc.upc_memput(base + offset, parts[dst], counts[dst] * 8)
+    upc.upc_barrier()
+    out = recv.local(incoming).copy() if incoming else np.empty(
+        0, dtype=np.uint64
+    )
+    repro.barrier()
+    repro.deallocate(recv)
+    return out
+
+
+def sample_sort(keys_per_rank: int = 4096, variant: str = "upcxx",
+                oversample: int = 32, seed: int = 12345,
+                verify: bool = True) -> SortResult:
+    """SPMD body; returns the rank-local result object."""
+    me, n = repro.myrank(), repro.ranks()
+    total = keys_per_rank * n
+
+    # Phase 1: generate keys into the shared array.
+    keys = repro.SharedArray(np.uint64, size=total, block=keys_per_rank)
+    rng = mt_seed_for_rank(seed, me)
+    mine = rng.integers(0, 1 << 63, size=keys_per_rank, dtype=np.uint64)
+    keys.local_view()[:keys_per_rank] = mine
+    repro.barrier()
+
+    t0 = time.perf_counter()
+    splitters = _select_splitters(keys, oversample, seed)
+
+    # partition local keys by splitter (vectorized)
+    order = np.argsort(mine, kind="stable")
+    sorted_mine = mine[order]
+    bounds = np.searchsorted(sorted_mine, splitters, side="right")
+    parts = np.split(sorted_mine, bounds)
+
+    if variant == "upcxx":
+        received = _redistribute_one_sided(mine, parts)
+    elif variant == "upc":
+        received = _redistribute_upc(mine, parts)
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+
+    result = np.sort(received, kind="quicksort")
+    repro.barrier()
+    dt = time.perf_counter() - t0
+
+    verified = True
+    if verify:
+        ok_sorted = bool(np.all(np.diff(result.astype(np.int64)) >= 0)) \
+            if len(result) > 1 else True
+        lo = int(result[0]) if len(result) else None
+        hi = int(result[-1]) if len(result) else None
+        edges = repro.collectives.allgather((lo, hi, len(result),
+                                             int(result.sum(dtype=np.uint64))
+                                             if len(result) else 0))
+        ok_global = True
+        prev_hi = None
+        for lo_i, hi_i, cnt, _s in edges:
+            if cnt == 0:
+                continue
+            if prev_hi is not None and lo_i < prev_hi:
+                ok_global = False
+            prev_hi = hi_i
+        total_count = sum(c for _l, _h, c, _s in edges)
+        in_sum = repro.collectives.allreduce(
+            int(mine.sum(dtype=np.uint64)) & ((1 << 64) - 1)
+        )
+        out_sum = sum(s for _l, _h, _c, s in edges)
+        ok_conserved = (total_count == total
+                        and (in_sum & ((1 << 64) - 1))
+                        == (out_sum & ((1 << 64) - 1)))
+        verified = bool(repro.collectives.allreduce(
+            int(ok_sorted and ok_global and ok_conserved), op="min"
+        ))
+
+    skew = repro.collectives.allreduce(
+        len(result) / keys_per_rank, op="max"
+    )
+    return SortResult(
+        variant=variant, total_keys=total, seconds=dt,
+        verified=verified, max_skew=skew,
+    )
+
+
+def run(ranks: int = 4, keys_per_rank: int = 4096,
+        variant: str = "upcxx", verify: bool = True) -> SortResult:
+    """Launch in a fresh SPMD world; returns rank 0's result."""
+    return repro.spmd(
+        sample_sort, ranks=ranks,
+        kwargs=dict(keys_per_rank=keys_per_rank, variant=variant,
+                    verify=verify),
+    )[0]

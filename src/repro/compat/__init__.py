@@ -1,0 +1,17 @@
+"""Interoperability veneers (paper objective #3: "an easy on-ramp ...
+interoperability with other existing parallel programming systems").
+
+* :mod:`repro.compat.mpi` — a two-sided message-passing layer with the
+  mpi4py surface (send/recv, isend/irecv, Sendrecv, collectives), built
+  on the same active-message conduit.  Used as the baseline programming
+  model for the LULESH case study, and to demonstrate the paper's
+  one-to-one UPC++ ↔ MPI rank mapping.
+* :mod:`repro.compat.upc` — a UPC-flavoured API (upc_forall, phase-ful
+  pointers-to-shared, upc_memcpy, upc_alloc, locks), used by the UPC
+  variants of the Random Access and Sample Sort benchmarks and by the
+  Table I idiom demonstrations.
+"""
+
+from repro.compat import mpi, upc
+
+__all__ = ["mpi", "upc"]

@@ -1,0 +1,189 @@
+"""A UPC-flavoured veneer over the PGAS runtime (paper Table I).
+
+This module exists for two reasons.  First, it demonstrates the paper's
+porting story: every UPC idiom in Table I has a direct equivalent here,
+so UPC-shaped code moves over with minimal syntactic change.  Second,
+the UPC *variants* of the Random Access and Sample Sort benchmarks are
+written against this API, giving the baseline programming model its own
+code path (the performance gap between the paths is what the machine
+model's per-model software overheads represent).
+
+=============================  =====================================
+UPC                            repro.compat.upc
+=============================  =====================================
+``THREADS`` / ``MYTHREAD``     :func:`THREADS` / :func:`MYTHREAD`
+``shared [BS] T A[n]``         :func:`shared_array` (T, n, BS)
+``shared T *p`` (with phase)   :class:`UpcSharedPtr`
+``upc_alloc`` /``upc_all_alloc``  :func:`upc_alloc` / :func:`upc_all_alloc`
+``upc_memcpy/get/put``         :func:`upc_memcpy` etc.
+``upc_barrier`` / ``upc_fence``  :func:`upc_barrier` / :func:`upc_fence`
+``upc_forall(...; aff)``       :func:`upc_forall`
+``upc_lock_t``                 :func:`upc_global_lock_alloc`
+=============================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+import numpy as np
+
+from repro.core.api import MYTHREAD, THREADS, barrier, fence
+from repro.core.allocator import allocate
+from repro.core.copy import copy as _copy
+from repro.core.global_ptr import GlobalPtr
+from repro.core.lock import GlobalLock
+from repro.core.shared_array import SharedArray
+from repro.core.world import current
+from repro.errors import BadPointer
+
+__all__ = [
+    "THREADS", "MYTHREAD", "upc_barrier", "upc_fence",
+    "shared_array", "UpcSharedPtr",
+    "upc_alloc", "upc_all_alloc", "upc_free",
+    "upc_memcpy", "upc_memget", "upc_memput",
+    "upc_forall", "upc_global_lock_alloc",
+]
+
+upc_barrier = barrier
+upc_fence = fence
+
+
+def shared_array(dtype, size: int, block: int = 1) -> SharedArray:
+    """``shared [block] dtype A[size]`` — collective declaration."""
+    return SharedArray(dtype, size=size, block=block)
+
+
+class UpcSharedPtr:
+    """A UPC pointer-to-shared **with phase**.
+
+    This is the semantics UPC++ deliberately dropped (paper §III-B);
+    it is provided here so the difference is demonstrable: incrementing
+    a :class:`UpcSharedPtr` walks the *global* (block-cyclic) element
+    order — hopping between threads — whereas ``GlobalPtr + 1`` walks
+    the owner's local memory.
+    """
+
+    __slots__ = ("array", "index")
+
+    def __init__(self, array: SharedArray, index: int = 0):
+        self.array = array
+        self.index = int(index)
+
+    # UPC pointer components
+    @property
+    def thread(self) -> int:
+        return self.array.where(self.index)
+
+    @property
+    def phase(self) -> int:
+        return self.index % self.array.block
+
+    def __add__(self, n: int) -> "UpcSharedPtr":
+        return UpcSharedPtr(self.array, self.index + int(n))
+
+    def __sub__(self, other: Union[int, "UpcSharedPtr"]):
+        if isinstance(other, UpcSharedPtr):
+            if other.array is not self.array:
+                raise BadPointer("pointer difference across shared arrays")
+            return self.index - other.index
+        return UpcSharedPtr(self.array, self.index - int(other))
+
+    def deref(self):
+        """``*p`` read."""
+        return self.array[self.index]
+
+    def assign(self, value) -> None:
+        """``*p = value`` write."""
+        self.array[self.index] = value
+
+    def __getitem__(self, i: int):
+        return self.array[self.index + i]
+
+    def __setitem__(self, i: int, value) -> None:
+        self.array[self.index + i] = value
+
+    def to_global_ptr(self) -> GlobalPtr:
+        """Cast to the phase-less UPC++ pointer (drops the phase)."""
+        return self.array.gptr(self.index)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"UpcSharedPtr(idx={self.index}, thread={self.thread}, "
+            f"phase={self.phase})"
+        )
+
+
+def upc_alloc(nbytes: int) -> GlobalPtr:
+    """Allocate shared memory with affinity to the caller."""
+    return allocate(current().rank, nbytes, np.uint8)
+
+
+def upc_all_alloc(nblocks: int, nbytes: int) -> SharedArray:
+    """Collective allocation of ``nblocks`` blocks of ``nbytes`` (as in
+    UPC, returns block-cyclically distributed storage)."""
+    return SharedArray(np.uint8, size=nblocks * nbytes, block=nbytes)
+
+
+def upc_free(ptr: GlobalPtr) -> None:
+    from repro.core.allocator import deallocate
+
+    deallocate(ptr)
+
+
+def upc_memcpy(dst: GlobalPtr, src: GlobalPtr, nbytes: int) -> None:
+    """shared-to-shared byte copy (UPC argument order: dst first)."""
+    _copy(src.cast(np.uint8), dst.cast(np.uint8), nbytes)
+
+
+def upc_memget(dst: np.ndarray, src: GlobalPtr, nbytes: int) -> None:
+    """shared-to-private copy."""
+    data = src.cast(np.uint8).get(nbytes)
+    dst.view(np.uint8).reshape(-1)[:nbytes] = data
+
+
+def upc_memput(dst: GlobalPtr, src: np.ndarray, nbytes: int) -> None:
+    """private-to-shared copy."""
+    raw = np.ascontiguousarray(src).view(np.uint8).reshape(-1)[:nbytes]
+    dst.cast(np.uint8).put(raw)
+
+
+def upc_forall(n: int, affinity=None) -> Iterator[int]:
+    """``upc_forall (i = 0; i < n; i++; affinity)`` as a generator.
+
+    ``affinity`` selects which iterations this thread executes:
+
+    * ``None`` — every thread runs every iteration (like a plain for);
+    * a constant ``int`` — only thread ``affinity % THREADS`` runs
+      (UPC's constant integer affinity);
+    * an ``int``-returning callable ``f(i)`` — run when
+      ``f(i) % THREADS == MYTHREAD`` (UPC's integer affinity
+      expression);
+    * a :class:`SharedArray` — run when element ``i`` has affinity to
+      this thread (UPC's pointer-to-shared affinity).
+
+    The paper's Table I shows UPC++ spelling this as a plain loop with
+    an affinity conditional — which is exactly what this generator does.
+    """
+    me = MYTHREAD()
+    nt = THREADS()
+    if affinity is None:
+        yield from range(n)
+    elif isinstance(affinity, SharedArray):
+        for i in range(n):
+            if affinity.where(i) == me:
+                yield i
+    elif isinstance(affinity, int):
+        if affinity % nt == me:
+            yield from range(n)
+    elif callable(affinity):
+        for i in range(n):
+            if affinity(i) % nt == me:
+                yield i
+    else:
+        raise TypeError(f"unsupported affinity {affinity!r}")
+
+
+def upc_global_lock_alloc() -> GlobalLock:
+    """Collective lock allocation (UPC's upc_all_lock_alloc)."""
+    return GlobalLock(owner=0)

@@ -1,0 +1,105 @@
+"""Dynamic global memory management (paper §III-C).
+
+``allocate(rank, count, dtype)`` reserves ``count`` elements in the
+segment of ``rank`` — including *remote* ranks, the feature the paper
+highlights as "not available in either UPC or MPI" (it is what makes
+distributed linked structures convenient).  Remote allocation is an
+active-message round trip to the owner, because allocator metadata is
+software state only the owner may touch; local allocation is a direct
+segment call.
+
+As in the paper, ``allocate`` does **not** run constructors; it returns
+raw, zero-initialized storage wrapped in a typed global pointer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.global_ptr import GlobalPtr
+from repro.core.world import RankState, current
+from repro.gasnet.am import am_handler
+
+
+@am_handler("seg_alloc")
+def _seg_alloc_handler(ctx: RankState, am) -> None:
+    nbytes, align = am.args
+    offset = ctx.segment.alloc(nbytes, align=align)
+    ctx.reply(am, args=(offset,))
+
+
+@am_handler("seg_free")
+def _seg_free_handler(ctx: RankState, am) -> None:
+    (offset,) = am.args
+    ctx.segment.free(offset)
+    ctx.reply(am, args=("ok",))
+
+
+def allocate(rank: int, count: int, dtype=np.uint8,
+             align: int = 8) -> GlobalPtr:
+    """Allocate ``count`` elements of ``dtype`` on ``rank``.
+
+    >>> sp = allocate(2, 64, np.int64)   # 64 ints on rank 2 (paper example)
+    """
+    ctx = current()
+    dtype = np.dtype(dtype)
+    nbytes = int(count) * dtype.itemsize
+    align = max(align, dtype.itemsize if dtype.itemsize else 1)
+    if rank == ctx.rank:
+        offset = ctx.segment.alloc(nbytes, align=align)
+    else:
+        fut = ctx.send_am(
+            rank, "seg_alloc", args=(nbytes, align), expect_reply=True
+        )
+        (offset,), _payload = fut.get()
+    return GlobalPtr(rank=rank, offset=offset, dtype=dtype)
+
+
+def escalate(local_array: np.ndarray) -> tuple[GlobalPtr, np.ndarray]:
+    """Escalate a private array into a shared object (paper §III-C).
+
+    UPC++ allows "construct[ing] a global_ptr from a regular C++ pointer
+    to a local heap or stack object, which semantically escalates a
+    private object into a shared object" — noting that this needs a
+    runtime with network access to *all* memory ("segment everything").
+    Our conduit, like GASNet's segment-fast configuration, only reaches
+    registered segments; so escalation here moves the data into the
+    caller's segment and returns
+
+    * a :class:`GlobalPtr` any rank may use, and
+    * a zero-copy NumPy view the owner should use **instead of** the
+      original array (which is left untouched and now stale).
+
+    Free with :func:`deallocate` when done.
+    """
+    from repro.errors import BadPointer
+
+    arr = np.ascontiguousarray(local_array)
+    if arr.dtype.hasobject:
+        raise BadPointer(
+            f"cannot escalate object-dtype array ({arr.dtype}); shared "
+            "memory holds raw elements only"
+        )
+    ptr = allocate(current().rank, arr.size, arr.dtype)
+    ptr.put(arr.reshape(-1))
+    view = ptr.local(arr.size).reshape(arr.shape)
+    return ptr, view
+
+
+def deallocate(ptr: GlobalPtr) -> None:
+    """Free memory returned by :func:`allocate` — callable from any rank
+    (paper: "can be freed by calling deallocate from any UPC++ thread").
+
+    Blocking: errors on the owner (e.g. double free) propagate to the
+    caller as exceptions.
+    """
+    ctx = current()
+    if ptr.is_null:
+        return
+    if ptr.rank == ctx.rank:
+        ctx.segment.free(ptr.offset)
+    else:
+        fut = ctx.send_am(
+            ptr.rank, "seg_free", args=(ptr.offset,), expect_reply=True
+        )
+        fut.get()

@@ -1,0 +1,168 @@
+"""Asynchronous remote function invocation (paper §III-G).
+
+The paper's spelling is ``async(place)(function, args...)``; since
+``async`` is a Python keyword, the library exports :func:`async_` (and
+the paper's companion :func:`async_after`):
+
+.. code-block:: python
+
+    f = async_(2)(lambda n: n * n, 5)     # run on rank 2
+    assert f.get() == 25
+
+    e = Event()
+    async_(1, signal=e)(work)             # signal e when work completes
+    async_after(3, after=e)(next_stage)   # launch once e has fired
+
+Implementation follows paper §IV: the function and its arguments are
+packed into a contiguous buffer (pickle — measured and charged to the
+communication stats) and shipped with an active message; the target
+unpacks and enqueues the task; its ``advance()`` executes it and replies
+with the (pickled) return value, which completes the initiator-side
+future, decrements enclosing finish scopes, and signals events.
+
+Unlike X10, only the function and explicit arguments travel — never the
+enclosing closure (the paper's deliberate design decision).  Functions
+that cannot be pickled (lambdas, nested functions) are passed by
+in-process reference, which is safe in the SMP conduit and keeps the
+API pleasant; their argument tuple is still serialized.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Optional, Union
+
+from repro.core.event import Event
+from repro.core.future import MultiFuture, TaskFuture
+from repro.core.team import Team
+from repro.core.world import RankState, _Task, current
+from repro.errors import SerializationError
+from repro.gasnet.am import am_handler
+
+Place = Union[int, Team]
+
+
+@am_handler("exec_task")
+def _exec_task_handler(ctx: RankState, am) -> None:
+    """Target side: unpack the task and enqueue it for execution."""
+    if isinstance(am.payload, (bytes, bytearray)):
+        fn, args, kwargs = pickle.loads(am.payload)
+    else:
+        fn, args, kwargs = am.payload  # in-process reference path
+    ctx.task_queue.append(
+        _Task(fn, args, kwargs, reply_rank=am.src_rank, reply_token=am.token)
+    )
+
+
+def _pack_task(fn: Callable, args: tuple, kwargs: dict):
+    """Serialize (fn, args, kwargs); fall back to by-reference for fn."""
+    try:
+        return pickle.dumps((fn, args, kwargs), protocol=-1)
+    except Exception:
+        # The function itself is not picklable (lambda/closure).  Check
+        # that the *arguments* are, to honour the paper's serialization
+        # contract, then ship the function by reference.
+        try:
+            pickle.dumps((args, kwargs), protocol=-1)
+        except Exception as exc:
+            raise SerializationError(
+                f"arguments of async task {fn!r} are not serializable: {exc}"
+            ) from exc
+        return (fn, args, kwargs)
+
+
+class _AsyncCall:
+    """The object returned by ``async_(place)``; calling it launches."""
+
+    __slots__ = ("_place", "_signal", "_after")
+
+    def __init__(self, place: Place, signal: Optional[Event],
+                 after: Optional[Event]):
+        self._place = place
+        self._signal = signal
+        self._after = after
+
+    def __call__(self, fn: Callable, *args: Any, **kwargs: Any):
+        ctx = current()
+        targets = (
+            list(self._place.members)
+            if isinstance(self._place, Team)
+            else [int(self._place)]
+        )
+        for t in targets:
+            if not 0 <= t < ctx.world.n_ranks:
+                raise ValueError(f"async target rank {t} out of range")
+        signal = self._signal
+        scope = ctx.finish_stack[-1] if ctx.finish_stack else None
+        futures = [TaskFuture(ctx) for _ in targets]
+
+        # Register completions *before* anything can run.
+        if signal is not None:
+            signal.incref(len(targets))
+        if scope is not None:
+            scope.register(len(targets))
+        for fut in futures:
+            fut.add_callback(_completion_cb(signal, scope))
+
+        def launch() -> None:
+            payload = _pack_task(fn, args, kwargs)
+            for target, fut in zip(targets, futures):
+                token = ctx.new_token()
+                with ctx._pending_lock:
+                    ctx._pending[token] = fut
+                from repro.gasnet.am import ActiveMessage
+
+                am = ActiveMessage(
+                    handler="exec_task", src_rank=ctx.rank,
+                    payload=payload, token=token,
+                )
+                ctx.world.conduit.send_am(ctx.rank, target, am)
+
+        if self._after is not None:
+            self._after.add_dependent(launch)
+        else:
+            launch()
+        if isinstance(self._place, Team):
+            return MultiFuture(futures)
+        return futures[0]
+
+
+def _completion_cb(signal: Optional[Event], scope):
+    def cb(fut) -> None:
+        exc = fut._exc
+        if scope is not None:
+            scope.complete(exc)
+        if signal is not None:
+            signal.decref()
+
+    return cb
+
+
+def async_(place: Place, signal: Optional[Event] = None) -> _AsyncCall:
+    """``async_(place)(fn, *args)`` — launch ``fn`` on ``place``.
+
+    ``place`` is a rank id or a :class:`~repro.core.team.Team`.  When
+    ``signal`` is given, the event is signaled once per completed target
+    (the paper's ``async(place, event *ack)`` form).  Returns a future
+    (or a :class:`~repro.core.future.MultiFuture` for teams).
+    """
+    return _AsyncCall(place, signal, after=None)
+
+
+def async_after(place: Place, after: Event,
+                signal: Optional[Event] = None) -> _AsyncCall:
+    """Launch once ``after`` has fired (the paper's ``async_after``)."""
+    if after is None:
+        raise ValueError("async_after requires an event to wait on")
+    return _AsyncCall(place, signal, after=after)
+
+
+def async_wait() -> None:
+    """Drain this rank's progress until no queued work remains.
+
+    A convenience for fire-and-forget patterns in tests and examples;
+    prefer ``finish`` or events for synchronization.
+    """
+    ctx = current()
+    while ctx.advance():
+        pass

@@ -1,0 +1,247 @@
+"""Collective operations.
+
+UPC++ inherits barriers from UPC and adds the collectives its case
+studies need (the Embree port uses a gatherv and a sum-reduction; Sample
+Sort needs allgather/alltoallv).  All collectives here are built on one
+*rendezvous exchange* primitive: every participant deposits its
+contribution, the last arrival publishes the slot, and each participant
+extracts its own copy of the result.
+
+Contributions are deep-copied on deposit (NumPy ``copy`` / pickle round
+trip) so the exchange has by-value semantics — the same data-movement
+contract a real network gives you, and a guard against aliasing bugs in
+user code.
+
+All ranks must invoke collectives in the same order; a mismatch (rank 0
+calls ``bcast`` while rank 1 calls ``reduce``) is detected and raised as
+a :class:`~repro.errors.PgasError` instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.team import Team
+from repro.core.world import current
+from repro.errors import PgasError
+
+_REDUCERS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
+    "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b),
+    "xor": lambda a, b: a ^ b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+}
+
+
+def _copy_value(value: Any) -> Any:
+    """By-value semantics for contributions crossing rank boundaries."""
+    if value is None or isinstance(value, (int, float, bool, str, bytes)):
+        return value
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    return pickle.loads(pickle.dumps(value, protocol=-1))
+
+
+def _exchange(kind: str, value: Any, *, team: Team | None = None) -> dict:
+    """Deposit ``value``; return the {participant_index: value} dict once
+    every participant has arrived.  The returned dict must be treated as
+    read-only; extract copies via :func:`_take`."""
+    ctx = current()
+    if team is None:
+        parties = ctx.world.n_ranks
+        my_index = ctx.rank
+        key_extra: tuple = ()
+    else:
+        parties = len(team)
+        my_index = team.index_of(ctx.rank)
+        key_extra = team.members
+    slot = ctx.world.rendezvous_slot(ctx, kind, parties, key_extra)
+    with ctx.world._glock:
+        slot.data[my_index] = _copy_value(value)
+        slot.arrived += 1
+        last = slot.arrived == parties
+        if last:
+            slot.ready = True
+    if last:
+        ctx.world.poke_all()
+    ctx.wait_until(lambda: slot.ready, what=f"collective {kind}")
+    data = slot.data
+    ctx.world.retire_slot(slot, parties)
+    ctx.stats.record_collective()
+    return data
+
+
+def _take(value: Any) -> Any:
+    """Extract a private copy of a slot value for the caller."""
+    return _copy_value(value)
+
+
+def _resolve_op(op) -> Callable[[Any, Any], Any]:
+    if callable(op):
+        return op
+    try:
+        return _REDUCERS[op]
+    except KeyError:
+        raise PgasError(
+            f"unknown reduction {op!r}; known: {sorted(_REDUCERS)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# world-scoped collectives
+# ---------------------------------------------------------------------------
+
+def barrier() -> None:
+    """Block until every rank has entered the barrier (paper's barrier())."""
+    ctx = current()
+    _exchange("barrier", None)
+    ctx.stats.record_barrier()
+
+
+def bcast(value: Any = None, root: int = 0) -> Any:
+    """Broadcast ``value`` from ``root`` to all ranks."""
+    ctx = current()
+    data = _exchange("bcast", value if ctx.rank == root else None)
+    if root not in data:
+        raise PgasError(f"bcast root {root} out of range")
+    return _take(data[root])
+
+
+def reduce(value: Any, op="sum", root: int = 0) -> Any:
+    """Reduce contributions to ``root``; other ranks receive ``None``."""
+    ctx = current()
+    fn = _resolve_op(op)
+    data = _exchange("reduce", value)
+    if ctx.rank != root:
+        return None
+    acc = _take(data[0])
+    for r in range(1, ctx.world.n_ranks):
+        acc = fn(acc, _take(data[r]))
+    return acc
+
+
+def allreduce(value: Any, op="sum") -> Any:
+    """Reduce contributions; every rank receives the result."""
+    ctx = current()
+    fn = _resolve_op(op)
+    data = _exchange("allreduce", value)
+    acc = _take(data[0])
+    for r in range(1, ctx.world.n_ranks):
+        acc = fn(acc, _take(data[r]))
+    return acc
+
+
+def gather(value: Any, root: int = 0) -> list | None:
+    """Gather one value per rank to ``root`` (rank order)."""
+    ctx = current()
+    data = _exchange("gather", value)
+    if ctx.rank != root:
+        return None
+    return [_take(data[r]) for r in range(ctx.world.n_ranks)]
+
+
+def allgather(value: Any) -> list:
+    """Gather one value per rank to every rank (rank order)."""
+    ctx = current()
+    data = _exchange("allgather", value)
+    return [_take(data[r]) for r in range(ctx.world.n_ranks)]
+
+
+def gatherv(array: np.ndarray, root: int = 0) -> np.ndarray | None:
+    """Gather variable-length 1-D arrays; root gets the concatenation.
+
+    This is the collective the paper's Embree port uses to combine image
+    tiles ("a final gather operation combines the tiles").
+    """
+    arr = np.ascontiguousarray(array)
+    if arr.ndim != 1:
+        raise PgasError("gatherv expects 1-D arrays; ravel first")
+    ctx = current()
+    data = _exchange("gatherv", arr)
+    if ctx.rank != root:
+        return None
+    return np.concatenate([data[r] for r in range(ctx.world.n_ranks)])
+
+
+def scatter(values: Sequence | None = None, root: int = 0) -> Any:
+    """Root provides one value per rank; each rank receives its own."""
+    ctx = current()
+    n = ctx.world.n_ranks
+    if ctx.rank == root:
+        if values is None or len(values) != n:
+            raise PgasError(f"scatter root must supply {n} values")
+    data = _exchange("scatter", list(values) if ctx.rank == root else None)
+    return _take(data[root][ctx.rank])
+
+
+def alltoall(values: Sequence) -> list:
+    """Each rank provides one value per destination; receives one per
+    source (the key redistribution primitive of Sample Sort baselines)."""
+    ctx = current()
+    n = ctx.world.n_ranks
+    if len(values) != n:
+        raise PgasError(f"alltoall needs exactly {n} values, one per rank")
+    data = _exchange("alltoall", list(values))
+    return [_take(data[src][ctx.rank]) for src in range(n)]
+
+
+def alltoallv(arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """alltoall for variable-length NumPy arrays."""
+    return alltoall([np.ascontiguousarray(a) for a in arrays])
+
+
+def scan(value: Any, op="sum") -> Any:
+    """Inclusive prefix reduction: rank r receives op(v_0 ... v_r).
+
+    The offset-computation primitive of distributed partitioning (e.g.
+    where each rank's keys land in a globally sorted order)."""
+    ctx = current()
+    fn = _resolve_op(op)
+    data = _exchange("scan", value)
+    acc = _take(data[0])
+    for r in range(1, ctx.rank + 1):
+        acc = fn(acc, _take(data[r]))
+    return acc
+
+
+def exscan(value: Any, op="sum", initial: Any = 0) -> Any:
+    """Exclusive prefix reduction: rank r receives op(v_0 ... v_{r-1});
+    rank 0 receives ``initial``."""
+    ctx = current()
+    fn = _resolve_op(op)
+    data = _exchange("exscan", value)
+    acc = _copy_value(initial)
+    for r in range(ctx.rank):
+        acc = fn(acc, _take(data[r]))
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# team-scoped collectives
+# ---------------------------------------------------------------------------
+
+def team_barrier(team: Team) -> None:
+    ctx = current()
+    _exchange("team_barrier", None, team=team)
+    ctx.stats.record_barrier()
+
+
+def team_bcast(team: Team, value: Any, root: int = 0) -> Any:
+    ctx = current()
+    my_index = team.index_of(ctx.rank)
+    data = _exchange(
+        "team_bcast", value if my_index == root else None, team=team
+    )
+    return _take(data[root])
+
+
+def _team_exchange(team: Team, value: Any) -> list:
+    """Allgather within a team (team order) — used by Team.split."""
+    data = _exchange("team_allgather", value, team=team)
+    return [_take(data[i]) for i in range(len(team))]

@@ -1,0 +1,84 @@
+"""Per-rank object directories.
+
+The paper composes ``shared_array< ndarray<int,3> > dir(THREADS)`` to
+build a directory of per-rank multidimensional arrays (§III-E).  Our
+segments hold raw bytes, not Python objects, so the idiom is provided
+directly: a :class:`Directory` gives every rank one published slot whose
+contents any rank can fetch.  Values are pickled on publish (they cross
+a rank boundary) — which is exactly what makes lightweight *handles*
+(global pointers, ndarray descriptors) the natural thing to publish.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from repro.core import collectives
+from repro.core.world import RankState, current
+from repro.errors import PgasError
+from repro.gasnet.am import am_handler
+
+
+@am_handler("dir_get")
+def _dir_get_handler(ctx: RankState, am) -> None:
+    (dir_id,) = am.args
+    try:
+        blob = ctx.dir_table[dir_id]
+    except KeyError:
+        raise PgasError(
+            f"rank {ctx.rank} has not published into directory {dir_id}"
+        ) from None
+    ctx.reply(am, payload=blob)
+
+
+class Directory:
+    """One published slot per rank; collective constructor."""
+
+    def __init__(self):
+        ctx = current()
+        dir_id = None
+        if ctx.rank == 0:
+            dir_id = next(ctx.world._dir_ids)
+        self.dir_id = collectives.bcast(dir_id, root=0)
+        self._cache: dict[int, Any] = {}
+
+    def publish(self, obj: Any) -> None:
+        """Store ``obj`` in the calling rank's slot (overwrites)."""
+        ctx = current()
+        ctx.dir_table[self.dir_id] = pickle.dumps(obj, protocol=-1)
+
+    def lookup(self, rank: int, cached: bool = True) -> Any:
+        """Fetch the object published by ``rank``.
+
+        ``cached=True`` (default) memoizes — appropriate for immutable
+        handles, which is the intended use.
+        """
+        ctx = current()
+        if cached and rank in self._cache:
+            return self._cache[rank]
+        if rank == ctx.rank:
+            try:
+                blob = ctx.dir_table[self.dir_id]
+            except KeyError:
+                raise PgasError(
+                    f"rank {rank} has not published into directory "
+                    f"{self.dir_id}"
+                ) from None
+        else:
+            fut = ctx.send_am(
+                rank, "dir_get", args=(self.dir_id,), expect_reply=True
+            )
+            _args, blob = fut.get()
+        obj = pickle.loads(blob)
+        if cached:
+            self._cache[rank] = obj
+        return obj
+
+    def publish_and_sync(self, obj: Any) -> None:
+        """Publish, then barrier — the common collective setup idiom."""
+        self.publish(obj)
+        collectives.barrier()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Directory(id={self.dir_id})"

@@ -1,0 +1,76 @@
+"""The X10-style ``finish`` construct (paper §III-G).
+
+In C++ the paper implements ``finish`` with a macro expanding to a
+``for`` statement plus RAII; the Python equivalent of RAII is a context
+manager:
+
+.. code-block:: python
+
+    with finish():
+        async_(p1)(task1)
+        async_(p2)(task2)
+    # both tasks have completed here
+
+As in the paper, ``finish`` waits only for asyncs spawned in the
+*dynamic scope* of the block on this rank — not for tasks transitively
+spawned by those tasks (distributed termination detection is expensive;
+the paper makes the same trade-off).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.world import current
+
+
+class FinishScope:
+    """Tracks the number of outstanding asyncs spawned inside the block."""
+
+    def __init__(self, ctx) -> None:
+        self._ctx = ctx
+        self._lock = threading.Lock()
+        self.outstanding = 0
+        self.errors: list[BaseException] = []
+
+    def register(self, n: int = 1) -> None:
+        with self._lock:
+            self.outstanding += n
+
+    def complete(self, exc: BaseException | None = None) -> None:
+        with self._lock:
+            self.outstanding -= 1
+            if exc is not None:
+                self.errors.append(exc)
+        if self.outstanding == 0:
+            self._ctx.world.poke_all()
+
+    # -- context manager ----------------------------------------------------
+    def __enter__(self) -> "FinishScope":
+        self._ctx.finish_stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        popped = self._ctx.finish_stack.pop()
+        assert popped is self, "finish scopes must nest properly"
+        if exc is not None:
+            # Still drain our asyncs so peers are not left with dangling
+            # reply targets, but let the original exception propagate.
+            try:
+                self._drain()
+            except Exception:
+                pass
+            return
+        self._drain()
+        if self.errors:
+            raise self.errors[0]
+
+    def _drain(self) -> None:
+        self._ctx.wait_until(
+            lambda: self.outstanding == 0, what="finish scope"
+        )
+
+
+def finish() -> FinishScope:
+    """Open a finish scope: ``with finish(): async_(...)(...)``."""
+    return FinishScope(current())

@@ -1,0 +1,186 @@
+"""Global pointers (paper §III-B).
+
+A :class:`GlobalPtr` encapsulates the owning rank and the local address
+(byte offset into the owner's segment) of shared data, plus the element
+dtype.  Design decisions from the paper are preserved:
+
+* **no phase**: unlike UPC pointers-to-shared, arithmetic steps through
+  the owner's *local* memory in element units, exactly like C++ pointer
+  arithmetic (``p + 1`` never hops to another rank);
+* ``where()`` reports the owner;
+* casting to a local pointer (here: a zero-copy NumPy view) is only valid
+  on the owning rank;
+* a ``void``-pointer equivalent (:func:`GlobalPtr.cast`) reinterprets the
+  element type without moving data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro.core.world import current
+from repro.errors import BadPointer
+from repro.gasnet import rma
+
+
+@dataclass(frozen=True, order=False)
+class GlobalPtr:
+    """A typed pointer into the partitioned global address space."""
+
+    rank: int
+    offset: int  # byte offset into the owner's segment
+    dtype: Any = np.uint8  # numpy dtype of the pointee ("void" = uint8)
+
+    def __post_init__(self):
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+
+    # -- identity / affinity ---------------------------------------------
+    def where(self) -> int:
+        """The rank with affinity to the pointee (paper's ``where()``)."""
+        return self.rank
+
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+    @property
+    def is_null(self) -> bool:
+        return self.rank < 0
+
+    def is_local(self) -> bool:
+        """True when the calling rank owns the pointee."""
+        return current().rank == self.rank
+
+    # -- arithmetic ---------------------------------------------------------
+    def _check(self) -> None:
+        if self.is_null:
+            raise BadPointer("operation on null global pointer")
+
+    def __add__(self, n: int) -> "GlobalPtr":
+        self._check()
+        return replace(self, offset=self.offset + int(n) * self.itemsize)
+
+    def __radd__(self, n: int) -> "GlobalPtr":
+        return self.__add__(n)
+
+    def __sub__(self, other):
+        self._check()
+        if isinstance(other, GlobalPtr):
+            if other.rank != self.rank:
+                raise BadPointer(
+                    "pointer difference across ranks is undefined"
+                )
+            if other.dtype != self.dtype:
+                raise BadPointer("pointer difference across dtypes")
+            diff = self.offset - other.offset
+            if diff % self.itemsize:
+                raise BadPointer("pointers are not element-aligned")
+            return diff // self.itemsize
+        return self.__add__(-int(other))
+
+    def __lt__(self, other: "GlobalPtr") -> bool:
+        return (self.rank, self.offset) < (other.rank, other.offset)
+
+    def __le__(self, other: "GlobalPtr") -> bool:
+        return (self.rank, self.offset) <= (other.rank, other.offset)
+
+    def __bool__(self) -> bool:
+        return not self.is_null
+
+    # -- casts ----------------------------------------------------------------
+    def cast(self, dtype) -> "GlobalPtr":
+        """Reinterpret the pointee type (``global_ptr<void>`` round trip)."""
+        self._check()
+        return replace(self, dtype=np.dtype(dtype))
+
+    def local(self, count: int = 1) -> np.ndarray:
+        """Cast to a local pointer: a zero-copy view of ``count`` elements.
+
+        Only valid on the owning rank — the PGAS contract the paper keeps
+        from UPC ("casting a global pointer to a regular C++ pointer
+        results in the local address").
+        """
+        self._check()
+        ctx = current()
+        if ctx.rank != self.rank:
+            raise BadPointer(
+                f"rank {ctx.rank} cannot take a local view of memory on "
+                f"rank {self.rank}; use get()/put() or copy()"
+            )
+        return rma.local_view(ctx, self.offset, self.dtype, count)
+
+    # -- element access (runtime Fig. 3 local/remote branch) -----------------
+    def get(self, count: int = 1) -> np.ndarray:
+        """One-sided read of ``count`` elements starting at the pointee."""
+        self._check()
+        return rma.get(current(), self.rank, self.offset, self.dtype, count)
+
+    def put(self, values: np.ndarray | int | float) -> None:
+        """One-sided write of one or more elements starting at the pointee."""
+        self._check()
+        arr = np.asarray(values, dtype=self.dtype)
+        rma.put(current(), self.rank, self.offset, arr)
+
+    def __getitem__(self, index: int):
+        """Scalar element read, ``p[i]`` — sugar over :meth:`get`."""
+        elem = (self + int(index)).get(1)
+        return elem[0]
+
+    def __setitem__(self, index: int, value) -> None:
+        (self + int(index)).put(value)
+
+    def atomic(self, op, operand):
+        """Atomic read-modify-write on the pointee; returns the old value.
+
+        ``op`` may be a callable ``(old, operand) -> new`` or one of
+        ``"xor" | "add" | "and" | "or" | "swap"``.
+        """
+        self._check()
+        fn = _ATOMIC_OPS.get(op, op)
+        if not callable(fn):
+            raise BadPointer(f"unknown atomic op {op!r}")
+        return rma.atomic(
+            current(), self.rank, self.offset, self.dtype, fn, operand
+        )
+
+    def compare_swap(self, expected, desired) -> bool:
+        """Atomic compare-and-swap on the pointee.
+
+        Writes ``desired`` iff the current value equals ``expected``;
+        returns True when the swap happened.  The building block for
+        lock-free distributed structures.
+        """
+        self._check()
+        expected = np.asarray(expected, dtype=self.dtype)[()]
+
+        def cas(old, v):
+            return v if old == expected else old
+
+        old = rma.atomic(
+            current(), self.rank, self.offset, self.dtype, cas, desired
+        )
+        return bool(old == expected)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if self.is_null:
+            return "GlobalPtr(null)"
+        return f"GlobalPtr(rank={self.rank}, off={self.offset}, {self.dtype})"
+
+
+_ATOMIC_OPS = {
+    "xor": lambda old, v: old ^ v,
+    "add": lambda old, v: old + v,
+    "and": lambda old, v: old & v,
+    "or": lambda old, v: old | v,
+    "swap": lambda old, v: v,
+    "min": lambda old, v: old if old <= v else v,
+    "max": lambda old, v: old if old >= v else v,
+}
+
+
+def null_ptr(dtype=np.uint8) -> GlobalPtr:
+    """The null global pointer."""
+    return GlobalPtr(rank=-1, offset=0, dtype=dtype)

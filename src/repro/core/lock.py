@@ -1,0 +1,112 @@
+"""Global locks (paper §III-F: "barriers, fences, and locks").
+
+A :class:`GlobalLock` lives on an *owner* rank, which queues acquire
+requests FIFO and grants them one at a time via reply messages — the
+classic AM-based lock server.  Construction is collective so that all
+ranks agree on the lock identity.
+
+The owner services requests inside its ``advance()``; a rank blocked in
+``acquire()`` is itself advancing, so self-acquisition works and lock
+traffic makes progress as long as the owner reaches any blocking
+runtime call (the usual polling-runtime contract).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core import collectives
+from repro.core.world import RankState, current
+from repro.errors import PgasError
+from repro.gasnet.am import am_handler
+
+
+def _table(ctx: RankState, lock_id: int) -> dict:
+    return ctx.lock_table.setdefault(
+        lock_id, {"held_by": None, "queue": deque()}
+    )
+
+
+@am_handler("lock_acquire")
+def _lock_acquire_handler(ctx: RankState, am) -> None:
+    (lock_id,) = am.args
+    t = _table(ctx, lock_id)
+    if t["held_by"] is None:
+        t["held_by"] = am.src_rank
+        ctx.reply(am, args=("granted",))
+    else:
+        t["queue"].append((am.src_rank, am.token))
+
+
+@am_handler("lock_try")
+def _lock_try_handler(ctx: RankState, am) -> None:
+    (lock_id,) = am.args
+    t = _table(ctx, lock_id)
+    if t["held_by"] is None:
+        t["held_by"] = am.src_rank
+        ctx.reply(am, args=("granted",))
+    else:
+        ctx.reply(am, args=("busy",))
+
+
+@am_handler("lock_release")
+def _lock_release_handler(ctx: RankState, am) -> None:
+    (lock_id,) = am.args
+    t = _table(ctx, lock_id)
+    if t["held_by"] != am.src_rank:
+        raise PgasError(
+            f"rank {am.src_rank} released lock {lock_id} held by "
+            f"{t['held_by']}"
+        )
+    if t["queue"]:
+        nxt_rank, nxt_token = t["queue"].popleft()
+        t["held_by"] = nxt_rank
+        ctx.send_reply_to(nxt_rank, nxt_token, args=("granted",))
+    else:
+        t["held_by"] = None
+    ctx.reply(am, args=("ok",))
+
+
+class GlobalLock:
+    """A mutual-exclusion lock in the global address space."""
+
+    def __init__(self, owner: int = 0):
+        ctx = current()
+        if not 0 <= owner < ctx.world.n_ranks:
+            raise PgasError(f"lock owner {owner} out of range")
+        self.owner = owner
+        # Collective id agreement: owner names the lock, everyone learns it.
+        lock_id = None
+        if ctx.rank == owner:
+            lock_id = next(ctx.world._lock_ids)
+        self.lock_id = collectives.bcast(lock_id, root=owner)
+
+    def acquire(self, block: bool = True) -> bool:
+        """Acquire the lock; with ``block=False`` behaves like
+        ``upc_lock_attempt`` (returns False when busy)."""
+        ctx = current()
+        handler = "lock_acquire" if block else "lock_try"
+        fut = ctx.send_am(
+            self.owner, handler, args=(self.lock_id,), expect_reply=True
+        )
+        (status, *_rest), _payload = fut.get()
+        return status == "granted"
+
+    def release(self) -> None:
+        ctx = current()
+        fut = ctx.send_am(
+            self.owner, "lock_release", args=(self.lock_id,),
+            expect_reply=True,
+        )
+        fut.get()
+
+    # -- pythonic sugar ----------------------------------------------------
+    def __enter__(self) -> "GlobalLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"GlobalLock(id={self.lock_id}, owner={self.owner})"

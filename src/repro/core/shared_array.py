@@ -1,0 +1,236 @@
+"""``shared_array<T, BS>`` — block-cyclically distributed 1-D arrays
+(paper §III-A).
+
+The layout matches UPC's: element ``i`` belongs to block ``i // BS``;
+blocks are dealt to ranks round-robin; within a rank, a rank's blocks
+are stored contiguously in arrival order.  ``BS = 1`` (the default, as
+in UPC) gives a pure cyclic layout.
+
+Construction is collective: every rank allocates its local slab and the
+base addresses are allgathered into a directory, so any rank can compute
+the global pointer of any element without communication — which is what
+lets ``sa[i]`` be a single one-sided get/put (runtime Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core import collectives
+from repro.core.global_ptr import GlobalPtr
+from repro.core.world import current
+from repro.errors import PgasError
+from repro.gasnet import rma
+
+
+# ---------------------------------------------------------------------------
+# pure layout math (unit-testable without a world)
+# ---------------------------------------------------------------------------
+
+def owner_of(i: int, block: int, nranks: int) -> int:
+    """Rank owning element ``i`` of a (block)-cyclic array."""
+    return (i // block) % nranks
+
+
+def local_offset_of(i: int, block: int, nranks: int) -> int:
+    """Element offset of global index ``i`` within its owner's slab."""
+    b = i // block
+    return (b // nranks) * block + (i % block)
+
+
+def global_index_of(rank: int, local_off: int, block: int,
+                    nranks: int) -> int:
+    """Inverse of (owner_of, local_offset_of)."""
+    lb, r = divmod(local_off, block)
+    return (lb * nranks + rank) * block + r
+
+
+def slab_elements(size: int, block: int, nranks: int) -> int:
+    """Per-rank slab length: every rank reserves the same (maximal) number
+    of blocks, exactly like UPC's static block-cyclic layout."""
+    nblocks = -(-size // block)  # ceil
+    blocks_per_rank = -(-nblocks // nranks)
+    return blocks_per_rank * block
+
+
+class SharedArray:
+    """A 1-D array distributed block-cyclically over all ranks."""
+
+    def __init__(self, dtype=np.int64, size: int | None = None,
+                 block: int = 1):
+        if block < 1:
+            raise PgasError("block size must be >= 1")
+        self.dtype = np.dtype(dtype)
+        self.block = int(block)
+        self.size = 0
+        self._slab_len = 0
+        self._bases: list[int] = []
+        self._my_base = -1
+        self._local = None
+        self._ctx = None
+        if size is not None:
+            self.init(size)
+
+    # -- collective allocation ------------------------------------------
+    def init(self, size: int) -> "SharedArray":
+        """Collectively allocate storage for ``size`` elements (the
+        paper's ``sa.init(THREADS)`` dynamic form)."""
+        if self.size:
+            raise PgasError("shared_array is already initialized")
+        if size <= 0:
+            raise PgasError("shared_array size must be positive")
+        ctx = current()
+        nranks = ctx.world.n_ranks
+        self.size = int(size)
+        self._slab_len = slab_elements(self.size, self.block, nranks)
+        nbytes = self._slab_len * self.dtype.itemsize
+        align = max(8, self.dtype.itemsize)
+        self._my_base = ctx.segment.alloc(nbytes, align=align)
+        self._bases = collectives.allgather(self._my_base)
+        # Owner-side fast path (runtime Fig. 3's "local access" branch):
+        # a cached zero-copy view over this rank's slab, so local element
+        # access skips pointer construction and conduit dispatch.
+        self._local = ctx.segment.view(
+            self._my_base, self.dtype, self._slab_len
+        )
+        self._ctx = ctx
+        return self
+
+    def _require_init(self) -> None:
+        if not self.size:
+            raise PgasError("shared_array used before init(size)")
+
+    # -- addressing --------------------------------------------------------
+    def _normalize(self, i: int) -> int:
+        i = int(i)
+        if i < 0:
+            i += self.size
+        if not 0 <= i < self.size:
+            raise IndexError(
+                f"index {i} out of range for shared_array of {self.size}"
+            )
+        return i
+
+    def gptr(self, i: int) -> GlobalPtr:
+        """Global pointer to element ``i`` (no communication)."""
+        self._require_init()
+        i = self._normalize(i)
+        nranks = len(self._bases)
+        r = owner_of(i, self.block, nranks)
+        off = local_offset_of(i, self.block, nranks)
+        return GlobalPtr(
+            rank=r,
+            offset=self._bases[r] + off * self.dtype.itemsize,
+            dtype=self.dtype,
+        )
+
+    def where(self, i: int) -> int:
+        """Affinity of element ``i``."""
+        self._require_init()
+        return owner_of(self._normalize(i), self.block, len(self._bases))
+
+    # -- element access (the overloaded [] of the paper) ----------------
+    def __getitem__(self, i: int):
+        self._require_init()
+        i = self._normalize(i)
+        nranks = len(self._bases)
+        ctx = current()
+        if (owner_of(i, self.block, nranks) == ctx.rank
+                and self._ctx is ctx):
+            ctx.stats.record_local()
+            return self._local[local_offset_of(i, self.block, nranks)]
+        return self.gptr(i)[0]
+
+    def __setitem__(self, i: int, value) -> None:
+        self._require_init()
+        i = self._normalize(i)
+        nranks = len(self._bases)
+        ctx = current()
+        if (owner_of(i, self.block, nranks) == ctx.rank
+                and self._ctx is ctx):
+            ctx.stats.record_local()
+            self._local[local_offset_of(i, self.block, nranks)] = value
+            return
+        self.gptr(i)[0] = value
+
+    def __getstate__(self):
+        """Shared arrays travel as handles: the cached owner-side view
+        and rank binding are rebuilt lazily by the receiving rank."""
+        state = self.__dict__.copy()
+        state["_local"] = None
+        state["_ctx"] = None
+        return state
+
+    def atomic(self, i: int, op, operand):
+        """Atomic read-modify-write of element ``i`` (GUPS xor path)."""
+        return self.gptr(i).atomic(op, operand)
+
+    def __len__(self) -> int:
+        return self.size
+
+    # -- owner-side bulk access ---------------------------------------------
+    def local_view(self) -> np.ndarray:
+        """Zero-copy view of the calling rank's slab (local blocks in
+        storage order).  Includes layout padding past ``size``."""
+        self._require_init()
+        ctx = current()
+        return rma.local_view(ctx, self._my_base, self.dtype, self._slab_len)
+
+    def local_indices(self) -> np.ndarray:
+        """Global indices owned by the caller, in slab storage order,
+        clipped to the array size."""
+        self._require_init()
+        ctx = current()
+        nranks = len(self._bases)
+        locals_ = np.arange(self._slab_len, dtype=np.int64)
+        lb, r = np.divmod(locals_, self.block)
+        gidx = (lb * nranks + ctx.rank) * self.block + r
+        return gidx[gidx < self.size]
+
+    def fill_local(self, value) -> None:
+        """Owner-side fill of the local slab (no communication)."""
+        self.local_view()[:] = value
+
+    def read_range(self, start: int, stop: int) -> np.ndarray:
+        """Bulk read [start, stop) with one get per owner-contiguous run.
+
+        Provided for verification and small tools; scalable codes should
+        restructure around locality instead (the paper's advice)."""
+        self._require_init()
+        if not 0 <= start <= stop <= self.size:
+            raise IndexError("range out of bounds")
+        out = np.empty(stop - start, dtype=self.dtype)
+        i = start
+        while i < stop:
+            run = min(self.block - (i % self.block), stop - i)
+            ptr = self.gptr(i)
+            out[i - start : i - start + run] = ptr.get(run)
+            i += run
+        return out
+
+    def write_range(self, start: int, values: np.ndarray) -> None:
+        """Bulk write starting at ``start`` with one put per
+        owner-contiguous run (the converse of :meth:`read_range`)."""
+        self._require_init()
+        values = np.asarray(values, dtype=self.dtype)
+        stop = start + values.size
+        if not 0 <= start <= stop <= self.size:
+            raise IndexError("range out of bounds")
+        i = start
+        while i < stop:
+            run = min(self.block - (i % self.block), stop - i)
+            self.gptr(i).put(values[i - start: i - start + run])
+            i += run
+
+    def __iter__(self) -> Iterator:
+        """Element iteration — one get per element; convenience only."""
+        for i in range(self.size):
+            yield self[i]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"SharedArray(dtype={self.dtype}, size={self.size}, "
+            f"block={self.block})"
+        )

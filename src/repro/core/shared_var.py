@@ -1,0 +1,71 @@
+"""``shared_var<T>`` — a single shared scalar (paper §III-A).
+
+"A shared scalar is a single memory location, generally stored on thread
+0 but accessible by all threads."  Construction is collective (all ranks
+construct the same variables in the same order); the owner allocates the
+cell and broadcasts its address.
+
+Python cannot overload assignment to a bare name, so instead of
+``s = 1`` / ``int a = s`` the accessors are the ``value`` property or
+``get()``/``put()``:
+
+.. code-block:: python
+
+    s = SharedVar(np.int64, init=0)
+    s.value = 1          # one-sided put to the owner
+    a = s.value          # one-sided get from the owner
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import collectives
+from repro.core.allocator import allocate
+from repro.core.global_ptr import GlobalPtr
+from repro.core.world import current
+
+
+class SharedVar:
+    """A scalar in the global address space.  Collective constructor."""
+
+    def __init__(self, dtype=np.int64, init=None, owner: int = 0):
+        ctx = current()
+        self.dtype = np.dtype(dtype)
+        self.owner = owner
+        if ctx.rank == owner:
+            ptr = allocate(owner, 1, self.dtype)
+            if init is not None:
+                ptr.put(np.asarray(init, dtype=self.dtype))
+            offset = ptr.offset
+        else:
+            offset = None
+        offset = collectives.bcast(offset, root=owner)
+        self.ptr = GlobalPtr(rank=owner, offset=offset, dtype=self.dtype)
+
+    # -- access ---------------------------------------------------------
+    def get(self):
+        """Read the shared value (rvalue use)."""
+        return self.ptr.get(1)[0]
+
+    def put(self, value) -> None:
+        """Write the shared value (lvalue use)."""
+        self.ptr.put(value)
+
+    @property
+    def value(self):
+        return self.get()
+
+    @value.setter
+    def value(self, v) -> None:
+        self.put(v)
+
+    def atomic(self, op, operand):
+        """Atomic read-modify-write (e.g. ``s.atomic("add", 1)``)."""
+        return self.ptr.atomic(op, operand)
+
+    def where(self) -> int:
+        return self.owner
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SharedVar(dtype={self.dtype}, owner={self.owner})"

@@ -1,0 +1,526 @@
+"""SPMD world and per-rank runtime state.
+
+The execution model follows the paper §IV:
+
+* each UPC++ *rank* is an independent execution unit (here: one thread of
+  the launching process, with a private :class:`~repro.gasnet.segment.Segment`
+  as its share of the global address space);
+* incoming active messages and spawned async tasks are processed when the
+  rank calls ``advance()`` — either explicitly or implicitly inside every
+  blocking runtime call;
+* in ``concurrent`` thread-support mode, an additional progress thread
+  drains inboxes of ranks that are busy computing (the paper's "worker
+  Pthread").
+
+:func:`spmd` is the launcher: it runs a function on ``n`` ranks and
+returns the per-rank results.  If any rank raises, all blocked peers are
+released with :class:`~repro.errors.PeerFailure` and the original
+exception is re-raised on the launching thread.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.errors import (
+    CommTimeout,
+    NotInSpmdRegion,
+    PeerFailure,
+    PgasError,
+)
+from repro.gasnet.am import ActiveMessage, handler_registry, make_reply
+from repro.gasnet.segment import Segment
+from repro.gasnet.smp import SmpConduit
+from repro.gasnet.stats import CommStats
+
+_tls = threading.local()
+
+#: Default per-rank segment size (16 MiB) — plenty for the test suite,
+#: overridable per spmd() call for the benchmarks.
+DEFAULT_SEGMENT_SIZE = 16 * 1024 * 1024
+
+_world_ids = itertools.count(1)
+
+
+def current() -> "RankState":
+    """The calling thread's rank state; raises outside an SPMD region."""
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is None:
+        raise NotInSpmdRegion(
+            "this operation requires a rank context; run it inside "
+            "repro.spmd(fn, ranks=N)"
+        )
+    return ctx
+
+
+def try_current() -> Optional["RankState"]:
+    """Like :func:`current` but returns None outside SPMD regions."""
+    return getattr(_tls, "ctx", None)
+
+
+class _Task:
+    """An async task queued for execution on this rank."""
+
+    __slots__ = ("fn", "args", "kwargs", "reply_rank", "reply_token")
+
+    def __init__(self, fn, args, kwargs, reply_rank, reply_token):
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.reply_rank = reply_rank
+        self.reply_token = reply_token
+
+
+class RankState:
+    """Everything one rank owns: segment, inbox, task queue, futures."""
+
+    def __init__(self, world: "World", rank: int, segment_size: int):
+        self.world = world
+        self.rank = rank
+        self.segment = Segment(segment_size, rank=rank)
+        self.stats = CommStats()
+        self._cv = threading.Condition()
+        self._inbox: deque[ActiveMessage] = deque()
+        self.task_queue: deque[_Task] = deque()
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, Any] = {}  # token -> Future
+        self._token_counter = itertools.count(1)
+        # The handler lock serializes AM-handler/task execution between the
+        # rank's own advance() and the shared progress thread (paper's
+        # "concurrent" thread-support mode).
+        self._handler_lock = threading.RLock()
+        # Finish-scope stack for the RAII finish construct (paper §III-G).
+        self.finish_stack: list = []
+        # Outstanding non-blocking copy handles (async_copy_fence).
+        self.outstanding_copies: list = []
+        # Per-collective sequence counters so that rendezvous keys line up
+        # across ranks (all ranks execute collectives in the same order).
+        self.coll_seq = 0
+        self.team_seq: dict[tuple, int] = {}
+        # Owner-side tables: global locks, directory objects, ...
+        self.lock_table: dict[int, dict] = {}
+        self.dir_table: dict[int, Any] = {}
+        # Free-form per-rank scratch space for applications/benchmarks.
+        self.scratch: dict[str, Any] = {}
+        self.done = False
+
+    # -- messaging ------------------------------------------------------
+    def deliver(self, am: ActiveMessage) -> None:
+        """Called by the conduit to enqueue an incoming message."""
+        with self._cv:
+            self._inbox.append(am)
+            self._cv.notify_all()
+
+    def new_token(self) -> int:
+        return next(self._token_counter)
+
+    def send_am(
+        self,
+        dst: int,
+        handler: str,
+        args: tuple = (),
+        payload: Any = None,
+        expect_reply: bool = False,
+    ):
+        """Send an active message; optionally return a reply future."""
+        from repro.core.future import Future
+
+        fut = None
+        token = None
+        if expect_reply:
+            token = self.new_token()
+            fut = Future(self)
+            with self._pending_lock:
+                self._pending[token] = fut
+        am = ActiveMessage(
+            handler=handler, src_rank=self.rank, args=args,
+            payload=payload, token=token,
+        )
+        self.world.conduit.send_am(self.rank, dst, am)
+        return fut
+
+    def reply(self, am: ActiveMessage, args: tuple = (),
+              payload: Any = None) -> None:
+        """Send the reply for a request AM (used inside handlers)."""
+        self.stats.record_reply()
+        reply = make_reply(am, self.rank, args=args, payload=payload)
+        self.world.conduit.send_am(self.rank, am.src_rank, reply)
+
+    def send_reply_to(self, dst: int, token: int, args: tuple = (),
+                      payload: Any = None) -> None:
+        """Reply to a previously stored (rank, token) pair — used by
+        owner-queued structures such as global locks."""
+        self.stats.record_reply()
+        am = ActiveMessage(
+            handler="__reply__", src_rank=self.rank, args=args,
+            payload=payload, token=token, is_reply=True,
+        )
+        self.world.conduit.send_am(self.rank, dst, am)
+
+    # -- progress ---------------------------------------------------------
+    def advance(self, max_items: int | None = None) -> bool:
+        """Process pending active messages and queued tasks.
+
+        Returns True when any progress was made.  This is the paper's
+        ``advance()``: user code may call it explicitly; every blocking
+        runtime operation calls it while waiting.
+        """
+        progressed = False
+        handled = 0
+        while max_items is None or handled < max_items:
+            with self._cv:
+                am = self._inbox.popleft() if self._inbox else None
+            if am is None:
+                break
+            self._handle(am)
+            progressed = True
+            handled += 1
+        while self.task_queue and (max_items is None or handled < max_items):
+            task = self.task_queue.popleft()
+            self._run_task(task)
+            progressed = True
+            handled += 1
+        return progressed
+
+    def _handle(self, am: ActiveMessage) -> None:
+        self.stats.record_am_handled()
+        with self._handler_lock:
+            if am.is_reply:
+                with self._pending_lock:
+                    fut = self._pending.pop(am.token, None)
+                if fut is None:
+                    raise PgasError(
+                        f"rank {self.rank}: reply for unknown token {am.token}"
+                    )
+                if am.args and am.args[0] == "__error__":
+                    fut.set_exception(am.args[1])
+                else:
+                    fut.set_result((am.args, am.payload))
+                return
+            handler = handler_registry.get(am.handler)
+            if handler is None:
+                raise PgasError(f"unknown AM handler {am.handler!r}")
+            try:
+                handler(self, am)
+            except BaseException as exc:  # surface handler errors
+                if am.token is not None:
+                    self.stats.record_reply()
+                    err = make_reply(am, self.rank, args=("__error__", exc))
+                    self.world.conduit.send_am(self.rank, am.src_rank, err)
+                else:
+                    self.world.fail(self.rank, exc)
+                    raise
+
+    def _run_task(self, task: _Task) -> None:
+        """Execute one queued async task and reply with its result."""
+        with self._handler_lock, self._activate():
+            try:
+                result = task.fn(*task.args, **task.kwargs)
+            except BaseException as exc:
+                if task.reply_token is not None:
+                    self.send_reply_to(
+                        task.reply_rank, task.reply_token,
+                        args=("__error__", exc),
+                    )
+                    return
+                self.world.fail(self.rank, exc)
+                raise
+            if task.reply_token is not None:
+                import pickle
+
+                try:
+                    payload = pickle.dumps(result, protocol=-1)
+                except Exception:
+                    payload = result  # in-process reference fallback
+                self.send_reply_to(
+                    task.reply_rank, task.reply_token,
+                    args=("__ok__",), payload=payload,
+                )
+
+    def _activate(self):
+        """Temporarily bind this rank to the executing thread (progress
+        thread support)."""
+        return _ActivateCtx(self)
+
+    # -- blocking helper ---------------------------------------------------
+    def wait_until(self, pred: Callable[[], bool], what: str = "",
+                   timeout: float | None = None) -> None:
+        """Poll ``pred`` while making progress; the blocking idiom.
+
+        Raises :class:`PeerFailure` if another rank fails while we wait and
+        :class:`CommTimeout` after ``timeout`` (default: the world's
+        operation timeout) seconds.
+        """
+        if pred():
+            return
+        if timeout is None:
+            timeout = self.world.op_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            failure = self.world.failure
+            if failure is not None and failure[0] != self.rank:
+                raise PeerFailure(failure[0], failure[1])
+            progressed = self.advance()
+            if pred():
+                return
+            if not progressed:
+                with self._cv:
+                    if not self._inbox and not pred():
+                        self._cv.wait(0.001)
+            if deadline is not None and time.monotonic() > deadline:
+                raise CommTimeout(
+                    f"rank {self.rank}: timed out waiting for {what or pred}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RankState rank={self.rank}/{self.world.n_ranks}>"
+
+
+class _ActivateCtx:
+    """Binds/unbinds a rank context on the executing thread."""
+
+    __slots__ = ("ctx", "prev")
+
+    def __init__(self, ctx: RankState):
+        self.ctx = ctx
+        self.prev = None
+
+    def __enter__(self):
+        self.prev = getattr(_tls, "ctx", None)
+        _tls.ctx = self.ctx
+        return self.ctx
+
+    def __exit__(self, *exc):
+        _tls.ctx = self.prev
+
+
+class _RendezvousSlot:
+    """Shared state for one collective-operation instance."""
+
+    __slots__ = ("kind", "data", "arrived", "result", "ready", "consumed",
+                 "_key")
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.data: dict[int, Any] = {}
+        self.arrived = 0
+        self.result: Any = None
+        self.ready = False
+        self.consumed = 0
+        self._key: tuple | None = None
+
+
+class World:
+    """One SPMD execution: ``n_ranks`` ranks over a conduit."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+        conduit=None,
+        thread_mode: str = "serialized",
+        op_timeout: float | None = 60.0,
+    ):
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        if thread_mode not in ("serialized", "concurrent"):
+            raise ValueError("thread_mode must be serialized|concurrent")
+        self.id = next(_world_ids)
+        self.n_ranks = n_ranks
+        self.thread_mode = thread_mode
+        self.op_timeout = op_timeout
+        self.conduit = conduit if conduit is not None else SmpConduit()
+        self.ranks = [RankState(self, r, segment_size) for r in range(n_ranks)]
+        self.conduit.attach(self)
+        self._glock = threading.Lock()
+        self._failure: tuple[int, BaseException] | None = None
+        self._rendezvous: dict[tuple, _RendezvousSlot] = {}
+        self._lock_ids = itertools.count(1)
+        self._dir_ids = itertools.count(1)
+        self._progress_stop = threading.Event()
+        self._progress_thread: threading.Thread | None = None
+
+    # -- failure propagation ------------------------------------------------
+    @property
+    def failure(self) -> tuple[int, BaseException] | None:
+        return self._failure
+
+    def fail(self, rank: int, exc: BaseException) -> None:
+        """Record the first failure and wake every blocked rank."""
+        with self._glock:
+            if self._failure is None:
+                self._failure = (rank, exc)
+        self.poke_all()
+
+    def poke_all(self) -> None:
+        """Wake all ranks blocked in wait_until (state changed)."""
+        for r in self.ranks:
+            with r._cv:
+                r._cv.notify_all()
+
+    # -- rendezvous (collectives substrate) ----------------------------------
+    def rendezvous_slot(self, ctx: RankState, kind: str,
+                        parties: int, key_extra: tuple = ()) -> _RendezvousSlot:
+        """Get/create the slot for the caller's next collective.
+
+        All participating ranks must call collectives in the same order;
+        mismatched kinds on the same sequence number are detected and
+        raised as programming errors.
+        """
+        if key_extra:
+            seq = ctx.team_seq.get(key_extra, 0)
+            ctx.team_seq[key_extra] = seq + 1
+        else:
+            seq = ctx.coll_seq
+            ctx.coll_seq += 1
+        key = (kind_base(kind), seq, key_extra)
+        with self._glock:
+            slot = self._rendezvous.get(key)
+            if slot is None:
+                slot = _RendezvousSlot(kind)
+                self._rendezvous[key] = slot
+            if slot.kind != kind:
+                raise PgasError(
+                    f"collective mismatch at sequence {seq}: rank "
+                    f"{ctx.rank} called {kind!r} but another rank called "
+                    f"{slot.kind!r}"
+                )
+            slot._key = key  # type: ignore[attr-defined]
+        return slot
+
+    def retire_slot(self, slot: _RendezvousSlot, parties: int) -> None:
+        """Drop a slot once every participant has consumed the result."""
+        with self._glock:
+            slot.consumed += 1
+            if slot.consumed >= parties:
+                self._rendezvous.pop(getattr(slot, "_key", None), None)
+
+    # -- progress thread (concurrent mode) -----------------------------------
+    def start_progress_thread(self) -> None:
+        if self._progress_thread is not None:
+            return
+        self._progress_thread = threading.Thread(
+            target=self._progress_main, name=f"pgas-progress-{self.id}",
+            daemon=True,
+        )
+        self._progress_thread.start()
+
+    def stop_progress_thread(self) -> None:
+        self._progress_stop.set()
+        if self._progress_thread is not None:
+            self._progress_thread.join(timeout=5.0)
+            self._progress_thread = None
+
+    def _progress_main(self) -> None:
+        """Drain inboxes of busy ranks (the paper's worker Pthread)."""
+        while not self._progress_stop.is_set():
+            progressed = False
+            for rank in self.ranks:
+                if rank.done:
+                    continue
+                try:
+                    progressed |= rank.advance(max_items=16)
+                except PgasError:
+                    pass  # failure already recorded via world.fail
+            if not progressed:
+                time.sleep(0.0005)
+
+
+def kind_base(kind: str) -> str:
+    """Collectives of different kinds must not collide on sequence keys;
+    the kind itself is part of the key *check* but not the lookup, so a
+    mismatch is reported instead of deadlocking."""
+    return "coll"
+
+
+def spmd(
+    fn: Callable,
+    ranks: int = 4,
+    *,
+    args: tuple = (),
+    kwargs: dict | None = None,
+    segment_size: int = DEFAULT_SEGMENT_SIZE,
+    conduit=None,
+    thread_mode: str = "serialized",
+    timeout: float | None = 60.0,
+) -> list:
+    """Run ``fn`` in SPMD style on ``ranks`` ranks; return per-rank results.
+
+    ``fn`` is called with ``*args, **kwargs`` on every rank; inside it the
+    usual SPMD API (:func:`repro.myrank`, :func:`repro.barrier`, shared
+    objects, asyncs, ...) is available.  The first exception raised by any
+    rank unblocks all peers and is re-raised here.
+
+    >>> import repro
+    >>> repro.spmd(lambda: repro.myrank(), ranks=3)
+    [0, 1, 2]
+    """
+    if getattr(_tls, "ctx", None) is not None:
+        raise PgasError("nested spmd() regions are not supported")
+    kwargs = kwargs or {}
+    world = World(
+        ranks, segment_size=segment_size, conduit=conduit,
+        thread_mode=thread_mode, op_timeout=timeout,
+    )
+    results: list = [None] * ranks
+    secondary: list[BaseException | None] = [None] * ranks
+
+    def rank_main(r: int) -> None:
+        ctx = world.ranks[r]
+        _tls.ctx = ctx
+        try:
+            results[r] = fn(*args, **kwargs)
+            # Implicit finalization barrier (cf. upcxx::finalize / UPC's
+            # implicit barrier at exit): a rank keeps servicing active
+            # messages until every peer is done issuing work, so
+            # trailing asyncs/RMA addressed to it are never stranded.
+            from repro.core.collectives import barrier as _finalize
+
+            _finalize()
+        except BaseException as exc:
+            if isinstance(exc, PeerFailure):
+                secondary[r] = exc
+            else:
+                world.fail(r, exc)
+        finally:
+            ctx.done = True
+            _tls.ctx = None
+
+    if thread_mode == "concurrent":
+        world.start_progress_thread()
+    threads = [
+        threading.Thread(
+            target=rank_main, args=(r,), name=f"pgas-rank-{r}", daemon=True
+        )
+        for r in range(ranks)
+    ]
+    try:
+        for t in threads:
+            t.start()
+        deadline = None if timeout is None else time.monotonic() + timeout + 5.0
+        for t in threads:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.1, deadline - time.monotonic())
+            t.join(timeout=remaining)
+        stuck = [t for t in threads if t.is_alive()]
+        if stuck:
+            world.fail(-1, CommTimeout(f"{len(stuck)} rank(s) hung"))
+            for t in stuck:
+                t.join(timeout=5.0)
+            raise CommTimeout(
+                f"spmd: {len(stuck)} of {ranks} ranks did not terminate"
+            )
+    finally:
+        world.stop_progress_thread()
+        close = getattr(world.conduit, "close", None)
+        if callable(close):
+            close()
+    if world.failure is not None:
+        failed_rank, exc = world.failure
+        raise exc
+    return results

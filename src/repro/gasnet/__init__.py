@@ -1,0 +1,40 @@
+"""A from-scratch simulated GASNet communication substrate.
+
+The paper implements UPC++ on top of GASNet (Fig. 2).  This package
+provides the same three primitives GASNet gives the UPC++ runtime:
+
+* **segments** — a registered, byte-addressable memory region per rank,
+  out of which all shared objects are allocated
+  (:class:`repro.gasnet.segment.Segment`);
+* **one-sided RMA** — puts/gets/atomics against a remote rank's segment
+  with no involvement of the target CPU (:mod:`repro.gasnet.rma`);
+* **active messages** — small requests executed by a handler on the
+  target, optionally carrying a payload and optionally generating a reply
+  (:mod:`repro.gasnet.am`).
+
+The only conduit implemented here is the *SMP conduit*
+(:mod:`repro.gasnet.smp`): SPMD ranks are OS threads of one process and
+RMA is a direct, locked access to the peer segment — which models RDMA
+faithfully (the target CPU never runs code for a put/get).
+"""
+
+from repro.gasnet.segment import Segment
+from repro.gasnet.am import ActiveMessage, am_handler, handler_registry
+from repro.gasnet.conduit import Conduit
+from repro.gasnet.smp import SmpConduit
+from repro.gasnet.delay import DelayConduit
+from repro.gasnet.stats import CommStats
+from repro.gasnet.trace import Trace, TraceEvent
+
+__all__ = [
+    "Segment",
+    "ActiveMessage",
+    "am_handler",
+    "handler_registry",
+    "Conduit",
+    "SmpConduit",
+    "DelayConduit",
+    "CommStats",
+    "Trace",
+    "TraceEvent",
+]

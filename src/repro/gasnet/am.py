@@ -1,0 +1,125 @@
+"""Active messages (von Eicken et al., ISCA'92) — the substrate for
+UPC++ remote function invocation and one-sided array copies.
+
+An :class:`ActiveMessage` names a *handler* registered in the global
+:data:`handler_registry`, carries a small argument tuple plus an optional
+bulk payload, and is delivered to the target rank's inbox.  The target
+executes the handler during its next progress call (``advance()``), which
+is exactly the paper's execution model (§IV: "enqueued async tasks are
+processed when the advance() function ... is called").
+
+Handlers may send a *reply* correlated by token; the initiator parks a
+future on the token and completes it when the reply arrives.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.errors import PgasError
+
+#: Global registry mapping handler names to callables ``fn(ctx, am)``.
+#: ``ctx`` is the target rank's state (duck-typed; see repro.core.world).
+handler_registry: dict[str, Callable] = {}
+
+
+def am_handler(name: str) -> Callable[[Callable], Callable]:
+    """Decorator registering an active-message handler under ``name``.
+
+    Handler names must be globally unique; the function entry points are
+    assumed identical on all ranks (paper §IV's loader assumption, which
+    holds trivially in one process).
+    """
+
+    def register(fn: Callable) -> Callable:
+        if name in handler_registry and handler_registry[name] is not fn:
+            raise PgasError(f"duplicate AM handler name: {name!r}")
+        handler_registry[name] = fn
+        return fn
+
+    return register
+
+
+@dataclass
+class ActiveMessage:
+    """One active message.
+
+    Attributes
+    ----------
+    handler:
+        Name in :data:`handler_registry` (ignored for replies).
+    src_rank:
+        Issuing rank.
+    args:
+        Small positional arguments (must be picklable; their pickled size
+        is charged to the communication stats, mirroring the paper's
+        "pack the task function pointer and its arguments into a
+        contiguous buffer").
+    payload:
+        Optional bulk payload (NumPy array or raw ``bytes``); transferred
+        by reference in the SMP conduit but charged by size.
+    token:
+        Correlation token for request/reply pairs; ``None`` when no reply
+        is expected.
+    is_reply:
+        True when this message completes the initiator's future for
+        ``token`` instead of running a named handler.
+    """
+
+    handler: str
+    src_rank: int
+    args: tuple = ()
+    payload: Optional[Any] = None
+    token: Optional[int] = None
+    is_reply: bool = False
+    # Filled in lazily: estimated wire size in bytes.
+    _wire_bytes: int = field(default=-1, repr=False)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Estimated serialized size (header + args + payload)."""
+        if self._wire_bytes < 0:
+            size = 32  # fixed header: handler id, ranks, token
+            if self.args:
+                try:
+                    size += len(pickle.dumps(self.args, protocol=-1))
+                except Exception:
+                    size += 64  # unpicklable in-process references
+            size += payload_nbytes(self.payload)
+            self._wire_bytes = size
+        return self._wire_bytes
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Size in bytes of an AM payload (0 for None)."""
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    try:
+        return len(pickle.dumps(payload, protocol=-1))
+    except Exception:
+        return 64
+
+
+def make_reply(request: ActiveMessage, src_rank: int,
+               args: tuple = (), payload: Any = None) -> ActiveMessage:
+    """Build the reply message for ``request`` (must carry a token)."""
+    if request.token is None:
+        raise PgasError(
+            f"AM {request.handler!r} does not expect a reply (no token)"
+        )
+    return ActiveMessage(
+        handler="__reply__",
+        src_rank=src_rank,
+        args=args,
+        payload=payload,
+        token=request.token,
+        is_reply=True,
+    )

@@ -1,0 +1,54 @@
+"""Conduit interface — what a network must provide to the UPC++ runtime.
+
+A conduit moves bytes and active messages between ranks.  Its contracts:
+
+* ``rma_put``/``rma_get``/``rma_atomic`` are **one-sided**: they complete
+  without the target executing any code (RDMA semantics).
+* ``send_am`` is **asynchronous**: delivery enqueues the message at the
+  target; execution happens at the target's next progress call.
+* Point-to-point AM ordering between a fixed (src, dst) pair is FIFO —
+  the guarantee GASNet provides and the runtime relies on.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.gasnet.am import ActiveMessage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.world import World
+
+
+class Conduit(abc.ABC):
+    """Abstract network conduit."""
+
+    world: "World | None" = None
+
+    def attach(self, world: "World") -> None:
+        """Bind the conduit to a world (called by the world constructor)."""
+        self.world = world
+
+    # -- active messages ------------------------------------------------
+    @abc.abstractmethod
+    def send_am(self, src: int, dst: int, am: ActiveMessage) -> None:
+        """Deliver ``am`` into rank ``dst``'s inbox."""
+
+    # -- one-sided RMA ---------------------------------------------------
+    @abc.abstractmethod
+    def rma_put(self, src: int, dst: int, offset: int,
+                data: np.ndarray) -> None:
+        """Write ``data`` into ``dst``'s segment at ``offset``."""
+
+    @abc.abstractmethod
+    def rma_get(self, src: int, dst: int, offset: int,
+                dtype: np.dtype, count: int) -> np.ndarray:
+        """Read ``count`` elements of ``dtype`` from ``dst``'s segment."""
+
+    @abc.abstractmethod
+    def rma_atomic(self, src: int, dst: int, offset: int,
+                   dtype: np.dtype, op, operand):
+        """Atomically read-modify-write one element; returns old value."""

@@ -1,0 +1,52 @@
+"""Typed one-sided RMA entry points with the local/remote branch.
+
+This is the runtime half of the paper's Fig. 3: every shared-object
+access first checks whether the target memory is local; local accesses
+become direct segment views, remote accesses go through the conduit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def put(ctx, dst_rank: int, offset: int, data: np.ndarray) -> None:
+    """Write ``data`` to (``dst_rank``, ``offset``)."""
+    if dst_rank == ctx.rank:
+        ctx.stats.record_local()
+        ctx.segment.typed_write(offset, data)
+    else:
+        ctx.world.conduit.rma_put(ctx.rank, dst_rank, offset, data)
+
+
+def get(ctx, dst_rank: int, offset: int,
+        dtype: np.dtype, count: int) -> np.ndarray:
+    """Read ``count`` elements of ``dtype`` from (``dst_rank``, ``offset``).
+
+    Always returns an owned copy (even locally) so callers can mutate the
+    result without aliasing the segment; use :func:`local_view` for
+    zero-copy owner-side access.
+    """
+    if dst_rank == ctx.rank:
+        ctx.stats.record_local()
+        return ctx.segment.typed_read(offset, dtype, count)
+    return ctx.world.conduit.rma_get(ctx.rank, dst_rank, offset, dtype, count)
+
+
+def atomic(ctx, dst_rank: int, offset: int, dtype: np.dtype, op, operand):
+    """Atomic read-modify-write of one remote element; returns old value.
+
+    ``op`` is ``(old, operand) -> new``; executed under the target's
+    segment lock (models NIC-side atomics).
+    """
+    if dst_rank == ctx.rank:
+        ctx.stats.record_local()
+        return ctx.segment.atomic_update(offset, dtype, op, operand)
+    return ctx.world.conduit.rma_atomic(
+        ctx.rank, dst_rank, offset, dtype, op, operand
+    )
+
+
+def local_view(ctx, offset: int, dtype: np.dtype, count: int) -> np.ndarray:
+    """Zero-copy typed view of the caller's own segment."""
+    return ctx.segment.view(offset, dtype, count)

@@ -1,0 +1,220 @@
+"""Per-rank registered memory segments.
+
+A :class:`Segment` is the PGAS "shared heap" of one rank: a contiguous
+NumPy byte buffer plus a first-fit free-list allocator.  Global pointers
+(:class:`repro.core.global_ptr.GlobalPtr`) are (rank, byte-offset) pairs
+into these segments, exactly like GASNet segment-fast addressing.
+
+The segment is thread-safe: the owner thread and any peer performing
+one-sided RMA take :attr:`Segment.lock` around raw accesses.  Locking per
+access models the atomicity unit of real RDMA NICs (aligned word access);
+we make the whole put/get atomic, which is strictly stronger and therefore
+safe for the relaxed memory model in paper §III-F.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import BadPointer, SegmentOutOfMemory
+
+_ALIGN_DEFAULT = 8
+
+
+def _align_up(x: int, align: int) -> int:
+    return (x + align - 1) & ~(align - 1)
+
+
+class Segment:
+    """A byte-addressable shared-memory segment with its own allocator.
+
+    Parameters
+    ----------
+    size:
+        Segment capacity in bytes.
+    rank:
+        Owning rank (used only for error messages).
+    """
+
+    def __init__(self, size: int, rank: int = -1):
+        if size <= 0:
+            raise ValueError("segment size must be positive")
+        self.size = int(size)
+        self.rank = rank
+        self.buf = np.zeros(self.size, dtype=np.uint8)
+        self.lock = threading.RLock()
+        # Free list: sorted list of (offset, length) of free holes.
+        self._free: list[tuple[int, int]] = [(0, self.size)]
+        # Live allocations: offset -> length (as returned to caller).
+        self._live: dict[int, int] = {}
+        self._bytes_in_use = 0
+        self._peak_in_use = 0
+
+    # ------------------------------------------------------------------
+    # allocator
+    # ------------------------------------------------------------------
+    def alloc(self, nbytes: int, align: int = _ALIGN_DEFAULT) -> int:
+        """Allocate ``nbytes`` (first fit), returning the byte offset.
+
+        Raises :class:`SegmentOutOfMemory` when no hole is large enough.
+        Zero-byte allocations are legal and return a unique aligned offset
+        backed by a 1-byte reservation (so ``free`` stays symmetrical).
+        """
+        if nbytes < 0:
+            raise ValueError("negative allocation")
+        if align <= 0 or (align & (align - 1)) != 0:
+            raise ValueError("alignment must be a positive power of two")
+        request = max(int(nbytes), 1)
+        with self.lock:
+            for i, (off, length) in enumerate(self._free):
+                start = _align_up(off, align)
+                pad = start - off
+                if pad + request > length:
+                    continue
+                # Split the hole: [off, off+pad) stays free (if non-empty),
+                # [start, start+request) is allocated, remainder stays free.
+                tail_off = start + request
+                tail_len = length - pad - request
+                repl: list[tuple[int, int]] = []
+                if pad:
+                    repl.append((off, pad))
+                if tail_len:
+                    repl.append((tail_off, tail_len))
+                self._free[i : i + 1] = repl
+                self._live[start] = request
+                self._bytes_in_use += request
+                self._peak_in_use = max(self._peak_in_use, self._bytes_in_use)
+                return start
+        raise SegmentOutOfMemory(
+            f"rank {self.rank}: cannot allocate {nbytes} bytes "
+            f"({self._bytes_in_use}/{self.size} in use)"
+        )
+
+    def free(self, offset: int) -> None:
+        """Release an allocation previously returned by :meth:`alloc`."""
+        with self.lock:
+            length = self._live.pop(offset, None)
+            if length is None:
+                raise BadPointer(
+                    f"rank {self.rank}: free of unallocated offset {offset}"
+                )
+            self._bytes_in_use -= length
+            self._insert_hole(offset, length)
+
+    def _insert_hole(self, offset: int, length: int) -> None:
+        """Insert a hole into the sorted free list, coalescing neighbours."""
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < offset:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (offset, length))
+        # Coalesce with successor then predecessor.
+        if lo + 1 < len(self._free):
+            noff, nlen = self._free[lo + 1]
+            if offset + length == noff:
+                self._free[lo : lo + 2] = [(offset, length + nlen)]
+        if lo > 0:
+            poff, plen = self._free[lo - 1]
+            off, ln = self._free[lo]
+            if poff + plen == off:
+                self._free[lo - 1 : lo + 1] = [(poff, plen + ln)]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def bytes_in_use(self) -> int:
+        return self._bytes_in_use
+
+    @property
+    def peak_bytes_in_use(self) -> int:
+        return self._peak_in_use
+
+    @property
+    def n_live_allocations(self) -> int:
+        return len(self._live)
+
+    def holes(self) -> Iterator[tuple[int, int]]:
+        """Yield the current free holes (for allocator tests)."""
+        with self.lock:
+            yield from list(self._free)
+
+    def allocation_size(self, offset: int) -> int:
+        with self.lock:
+            if offset not in self._live:
+                raise BadPointer(f"offset {offset} is not a live allocation")
+            return self._live[offset]
+
+    # ------------------------------------------------------------------
+    # raw access (used by the conduit / RMA layer)
+    # ------------------------------------------------------------------
+    def _check_range(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or offset + nbytes > self.size:
+            raise BadPointer(
+                f"rank {self.rank}: access [{offset}, {offset + nbytes}) "
+                f"outside segment of {self.size} bytes"
+            )
+
+    def read(self, offset: int, nbytes: int) -> np.ndarray:
+        """Copy ``nbytes`` out of the segment (uint8 array)."""
+        self._check_range(offset, nbytes)
+        with self.lock:
+            return self.buf[offset : offset + nbytes].copy()
+
+    def write(self, offset: int, data: np.ndarray) -> None:
+        """Copy a byte array into the segment."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        self._check_range(offset, raw.nbytes)
+        with self.lock:
+            self.buf[offset : offset + raw.size] = raw
+
+    def typed_read(self, offset: int, dtype: np.dtype, count: int) -> np.ndarray:
+        """Copy ``count`` elements of ``dtype`` out of the segment."""
+        dtype = np.dtype(dtype)
+        nbytes = dtype.itemsize * count
+        self._check_range(offset, nbytes)
+        with self.lock:
+            raw = self.buf[offset : offset + nbytes].copy()
+        return raw.view(dtype)
+
+    def typed_write(self, offset: int, data: np.ndarray) -> None:
+        """Copy a typed contiguous array into the segment."""
+        arr = np.ascontiguousarray(data)
+        self.write(offset, arr.view(np.uint8).reshape(-1))
+
+    def view(self, offset: int, dtype: np.dtype, count: int) -> np.ndarray:
+        """A zero-copy typed view — owner-side access only.
+
+        The caller must be the owning rank (PGAS semantics: casting a
+        global pointer to a local pointer is only valid on the owner).
+        Alignment of ``offset`` to ``dtype.itemsize`` is required because
+        NumPy views cannot be misaligned.
+        """
+        dtype = np.dtype(dtype)
+        nbytes = dtype.itemsize * count
+        self._check_range(offset, nbytes)
+        if dtype.itemsize and offset % dtype.itemsize:
+            raise BadPointer(
+                f"offset {offset} misaligned for dtype {dtype} view"
+            )
+        return self.buf[offset : offset + nbytes].view(dtype)
+
+    def atomic_update(self, offset: int, dtype: np.dtype, op, operand):
+        """Read-modify-write one element under the segment lock.
+
+        ``op`` is a callable ``(old, operand) -> new``.  Returns the old
+        value.  This is the substrate for remote atomics (GUPS xor).
+        """
+        dtype = np.dtype(dtype)
+        self._check_range(offset, dtype.itemsize)
+        with self.lock:
+            cell = self.buf[offset : offset + dtype.itemsize].view(dtype)
+            old = cell[0].copy()
+            cell[0] = op(old, operand)
+        return old

@@ -1,0 +1,67 @@
+"""The SMP conduit: ranks are threads, the "wire" is shared memory.
+
+One-sided RMA is implemented as a direct, locked access to the peer's
+segment buffer — a faithful model of RDMA (the target CPU executes
+nothing).  Active messages are appended to the target's inbox deque and
+its condition variable is signalled so blocked waiters wake up.
+
+Optional fault injection (:attr:`SmpConduit.fail_next_am`) lets tests
+exercise the failure-propagation paths without contriving real crashes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PgasError
+from repro.gasnet.am import ActiveMessage
+from repro.gasnet.conduit import Conduit
+
+
+class SmpConduit(Conduit):
+    """Threads-as-ranks conduit (the default real executor)."""
+
+    def __init__(self) -> None:
+        self.world = None
+        #: Test hook: when set, the next send_am raises (fault injection).
+        self.fail_next_am: Exception | None = None
+
+    # ------------------------------------------------------------------
+    def _rank(self, r: int):
+        if self.world is None:
+            raise PgasError("conduit not attached to a world")
+        if not 0 <= r < self.world.n_ranks:
+            raise PgasError(
+                f"rank {r} out of range [0, {self.world.n_ranks})"
+            )
+        return self.world.ranks[r]
+
+    # -- active messages ------------------------------------------------
+    def send_am(self, src: int, dst: int, am: ActiveMessage) -> None:
+        if self.fail_next_am is not None:
+            exc, self.fail_next_am = self.fail_next_am, None
+            raise exc
+        target = self._rank(dst)
+        self._rank(src).stats.record_am(am.wire_bytes)
+        target.deliver(am)
+
+    # -- one-sided RMA ---------------------------------------------------
+    def rma_put(self, src: int, dst: int, offset: int,
+                data: np.ndarray) -> None:
+        target = self._rank(dst)
+        raw = np.ascontiguousarray(data)
+        self._rank(src).stats.record_put(raw.nbytes)
+        target.segment.typed_write(offset, raw)
+
+    def rma_get(self, src: int, dst: int, offset: int,
+                dtype: np.dtype, count: int) -> np.ndarray:
+        target = self._rank(dst)
+        out = target.segment.typed_read(offset, dtype, count)
+        self._rank(src).stats.record_get(out.nbytes)
+        return out
+
+    def rma_atomic(self, src: int, dst: int, offset: int,
+                   dtype: np.dtype, op, operand):
+        target = self._rank(dst)
+        self._rank(src).stats.record_atomic()
+        return target.segment.atomic_update(offset, dtype, op, operand)

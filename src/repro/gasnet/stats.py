@@ -1,0 +1,126 @@
+"""Per-rank communication counters.
+
+Every conduit operation is recorded here.  The counters serve three
+purposes:
+
+1. tests can assert *communication patterns* (e.g. one ghost exchange
+   issues exactly six messages per rank per timestep);
+2. :mod:`repro.sim.calibrate` converts measured per-op software overheads
+   into machine-model parameters;
+3. the bench harness reports traffic alongside timings.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CommStats:
+    """Mutable counters for one rank. Thread-safe via an internal lock."""
+
+    puts: int = 0
+    put_bytes: int = 0
+    gets: int = 0
+    get_bytes: int = 0
+    atomics: int = 0
+    ams_sent: int = 0
+    am_bytes: int = 0
+    ams_handled: int = 0
+    replies_sent: int = 0
+    barriers: int = 0
+    collectives: int = 0
+    local_accesses: int = 0
+    remote_accesses: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_put(self, nbytes: int) -> None:
+        with self._lock:
+            self.puts += 1
+            self.put_bytes += nbytes
+            self.remote_accesses += 1
+
+    def record_get(self, nbytes: int) -> None:
+        with self._lock:
+            self.gets += 1
+            self.get_bytes += nbytes
+            self.remote_accesses += 1
+
+    def record_atomic(self) -> None:
+        with self._lock:
+            self.atomics += 1
+            self.remote_accesses += 1
+
+    def record_am(self, nbytes: int) -> None:
+        with self._lock:
+            self.ams_sent += 1
+            self.am_bytes += nbytes
+
+    def record_am_handled(self) -> None:
+        with self._lock:
+            self.ams_handled += 1
+
+    def record_reply(self) -> None:
+        with self._lock:
+            self.replies_sent += 1
+
+    def record_barrier(self) -> None:
+        with self._lock:
+            self.barriers += 1
+
+    def record_collective(self) -> None:
+        with self._lock:
+            self.collectives += 1
+
+    def record_local(self) -> None:
+        with self._lock:
+            self.local_accesses += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def messages(self) -> int:
+        """Total injected network operations (RMA + AMs + replies)."""
+        return self.puts + self.gets + self.atomics + self.ams_sent
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.put_bytes + self.get_bytes + self.am_bytes
+
+    def snapshot(self) -> dict:
+        """An immutable copy of the counters (plain dict)."""
+        with self._lock:
+            return {
+                "puts": self.puts,
+                "put_bytes": self.put_bytes,
+                "gets": self.gets,
+                "get_bytes": self.get_bytes,
+                "atomics": self.atomics,
+                "ams_sent": self.ams_sent,
+                "am_bytes": self.am_bytes,
+                "ams_handled": self.ams_handled,
+                "replies_sent": self.replies_sent,
+                "barriers": self.barriers,
+                "collectives": self.collectives,
+                "local_accesses": self.local_accesses,
+                "remote_accesses": self.remote_accesses,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.puts = self.put_bytes = 0
+            self.gets = self.get_bytes = 0
+            self.atomics = 0
+            self.ams_sent = self.am_bytes = 0
+            self.ams_handled = self.replies_sent = 0
+            self.barriers = self.collectives = 0
+            self.local_accesses = self.remote_accesses = 0
+
+
+def aggregate(stats: list[CommStats]) -> dict:
+    """Sum a list of per-rank snapshots into one dict."""
+    total: dict[str, int] = {}
+    for s in stats:
+        for k, v in s.snapshot().items():
+            total[k] = total.get(k, 0) + v
+    return total

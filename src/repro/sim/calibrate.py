@@ -1,0 +1,118 @@
+"""Calibration: measure this library's real software overheads.
+
+The paper's UPC-vs-UPC++ gaps are *software overhead* gaps (compiled
+shared-access vs template/runtime paths).  This module measures the
+analogous per-operation costs of the live Python library on the SMP
+conduit — the UPC veneer path, the UPC++ path, local vs remote, async
+round trips, bulk copy bandwidth — and maps them onto model parameters:
+
+* the **ratios** between code paths are taken from measurement;
+* a single **anchor** (the model's ``upcxx.fine_grained``) converts the
+  Python cost scale to the modelled machine's cost scale.
+
+That keeps the model honest about what this reproduction can measure
+(relative overheads of real code paths) versus what it must take from
+the paper (absolute C++/network magnitudes).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro
+from repro.compat import upc
+from repro.sim.machine import Machine, ModelOverheads
+
+
+@dataclass(frozen=True)
+class Measurements:
+    """Seconds per operation, measured on the SMP conduit."""
+
+    local_access: float      # owner-side shared_array element read
+    upcxx_remote: float      # remote element read, UPC++ path (gptr)
+    upc_remote: float        # remote element read, UPC veneer path
+    async_rtt: float         # async task launch -> future.get round trip
+    copy_bw: float           # bulk copy bandwidth, bytes/s
+
+    @property
+    def upc_over_upcxx(self) -> float:
+        """UPC-veneer / UPC++ fine-grained cost ratio."""
+        return self.upc_remote / self.upcxx_remote
+
+    @property
+    def remote_over_local(self) -> float:
+        return self.upcxx_remote / self.local_access
+
+
+def _timeit(fn, iters: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        fn()
+    return (time.perf_counter() - t0) / iters
+
+
+def measure_software_overheads(iters: int = 2000,
+                               bulk_bytes: int = 1 << 20) -> Measurements:
+    """Run the measurement harness (its own 2-rank SPMD world)."""
+
+    def main():
+        me = repro.myrank()
+        sa = repro.SharedArray(np.int64, size=64, block=1)
+        sa.fill_local(1)
+        repro.barrier()
+        results = None
+        if me == 0:
+            # element 1 lives on rank 1 (cyclic layout): the remote path.
+            local_t = _timeit(lambda: sa[0], iters)
+            remote_t = _timeit(lambda: sa[1], iters)
+            p = upc.UpcSharedPtr(sa, 1)
+            upc_t = _timeit(p.deref, iters)
+            async_t = _timeit(
+                lambda: repro.async_(1)(int, 1).get(), max(50, iters // 20)
+            )
+            src = repro.allocate(1, bulk_bytes, np.uint8)
+            dst = repro.allocate(0, bulk_bytes, np.uint8)
+            n_bulk = 20
+            t0 = time.perf_counter()
+            for _ in range(n_bulk):
+                repro.copy(src, dst, bulk_bytes)
+            bw = n_bulk * bulk_bytes / (time.perf_counter() - t0)
+            results = (local_t, remote_t, upc_t, async_t, bw)
+        repro.barrier()
+        return results
+
+    out = repro.spmd(main, ranks=2)[0]
+    return Measurements(
+        local_access=out[0], upcxx_remote=out[1], upc_remote=out[2],
+        async_rtt=out[3], copy_bw=out[4],
+    )
+
+
+def fitted_overheads(machine: Machine, meas: Measurements) -> dict:
+    """Model overhead sets rescaled from live measurements.
+
+    The model's ``upcxx.fine_grained`` anchors the scale; every other
+    entry is the anchor times a *measured* ratio.  Returns
+    ``{model_name: ModelOverheads}`` for the "upc" and "upcxx" models.
+    """
+    anchor = machine.overheads("upcxx").fine_grained
+    scale = anchor / meas.upcxx_remote
+    ref = machine.overheads("upcxx")
+    upcxx_fit = ModelOverheads(
+        fine_grained=anchor,
+        message=ref.message,
+        base_rtt=ref.base_rtt,
+    )
+    upc_fit = ModelOverheads(
+        fine_grained=anchor * meas.upc_over_upcxx,
+        message=machine.overheads("upc").message,
+        base_rtt=machine.overheads("upc").base_rtt,
+    )
+    return {
+        "upcxx": upcxx_fit,
+        "upc": upc_fit,
+        "python_to_model_scale": scale,
+    }

@@ -1,0 +1,168 @@
+"""A discrete-event simulator for rank communication programs.
+
+The closed-form figure models in :mod:`repro.sim.perfmodel` make
+independence/aggregation assumptions; this engine executes the *actual
+per-rank operation sequences* (from :mod:`repro.sim.patterns`) under the
+same LogGP + topology costs, so tests can check the closed forms against
+an executable semantics at small scale.
+
+Programs are lists of ops per rank:
+
+* :class:`Compute` — local work for a given time;
+* :class:`Put` — non-blocking one-sided write (completion tracked for
+  :class:`WaitAll`, the model of ``async_copy`` + ``async_copy_fence``);
+* :class:`Get` — blocking one-sided read (fine-grained round trip);
+* :class:`Send`/:class:`Recv` — two-sided tagged messages with MPI
+  matching semantics (Recv blocks until a matching Send arrived);
+* :class:`WaitAll` — fence on this rank's outstanding Puts;
+* :class:`Barrier` — global synchronization (dissemination cost).
+
+The engine advances ranks round-robin; a full pass with no progress and
+unfinished programs is reported as deadlock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Sequence
+
+from repro.errors import PgasError
+from repro.sim.machine import Machine
+
+
+@dataclass(frozen=True)
+class Compute:
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Put:
+    dst: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class Get:
+    dst: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class Send:
+    dst: int
+    nbytes: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Recv:
+    src: int
+    nbytes: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class WaitAll:
+    pass
+
+
+@dataclass(frozen=True)
+class Barrier:
+    pass
+
+
+class DesEngine:
+    """Execute per-rank programs; report per-rank and global finish times."""
+
+    def __init__(self, machine: Machine, model: str, cores: int):
+        self.machine = machine
+        self.ov = machine.overheads(model)
+        self.latency = machine.one_way_latency(cores)
+        self.G = machine.loggp.G
+        self.cores = cores
+
+    # -- cost helpers -----------------------------------------------------
+    def _inject_cost(self, nbytes: int) -> float:
+        return self.ov.message + nbytes * self.G
+
+    def _barrier_cost(self, nranks: int) -> float:
+        rounds = max(1, ceil(log2(max(2, nranks))))
+        return rounds * (self.ov.message + self.latency)
+
+    # -- execution -----------------------------------------------------------
+    def run(self, programs: Sequence[Sequence[object]]) -> dict:
+        """Simulate; returns {'finish_times': [...], 'makespan': float}."""
+        n = len(programs)
+        clock = [0.0] * n
+        pc = [0] * n
+        outstanding: list[list[float]] = [[] for _ in range(n)]
+        mailbox: list[list[tuple[int, int, float]]] = [[] for _ in range(n)]
+        in_barrier = [False] * n
+
+        def runnable(r: int) -> bool:
+            return pc[r] < len(programs[r])
+
+        total_remaining = sum(len(p) for p in programs)
+        while total_remaining:
+            progressed = False
+            # Barrier resolution: ALL ranks must be parked at a barrier.
+            # A rank that terminated without reaching it is a program
+            # error and falls through to deadlock detection below.
+            waiting = [r for r in range(n) if runnable(r) and in_barrier[r]]
+            if len(waiting) == n:
+                release = max(clock[r] for r in waiting) + self._barrier_cost(n)
+                for r in waiting:
+                    clock[r] = release
+                    in_barrier[r] = False
+                    pc[r] += 1
+                    total_remaining -= 1
+                progressed = True
+                continue
+            for r in range(n):
+                if not runnable(r) or in_barrier[r]:
+                    continue
+                op = programs[r][pc[r]]
+                if isinstance(op, Barrier):
+                    in_barrier[r] = True
+                    progressed = True
+                    continue
+                if isinstance(op, Compute):
+                    clock[r] += op.seconds
+                elif isinstance(op, Put):
+                    clock[r] += self._inject_cost(op.nbytes)
+                    outstanding[r].append(clock[r] + self.latency)
+                elif isinstance(op, Get):
+                    clock[r] += (
+                        2 * self.ov.message + 2 * self.latency
+                        + op.nbytes * self.G
+                    )
+                elif isinstance(op, Send):
+                    clock[r] += self._inject_cost(op.nbytes)
+                    mailbox[op.dst].append((r, op.tag, clock[r] + self.latency))
+                elif isinstance(op, Recv):
+                    hit = None
+                    for i, (src, tag, arrival) in enumerate(mailbox[r]):
+                        if src == op.src and tag == op.tag:
+                            hit = i
+                            break
+                    if hit is None:
+                        continue  # blocked: matching send not issued yet
+                    _src, _tag, arrival = mailbox[r].pop(hit)
+                    clock[r] = max(clock[r], arrival) + self.ov.message
+                elif isinstance(op, WaitAll):
+                    if outstanding[r]:
+                        clock[r] = max(clock[r], max(outstanding[r]))
+                        outstanding[r].clear()
+                else:
+                    raise PgasError(f"unknown op {op!r}")
+                pc[r] += 1
+                total_remaining -= 1
+                progressed = True
+            if not progressed:
+                stuck = [r for r in range(n) if runnable(r)]
+                raise PgasError(
+                    f"DES deadlock: ranks {stuck} cannot progress "
+                    f"(unmatched Recv or mismatched Barrier)"
+                )
+        return {"finish_times": clock, "makespan": max(clock) if n else 0.0}

@@ -1,0 +1,60 @@
+"""LogGP network cost model (Alexandrov et al.).
+
+Parameters (seconds / seconds-per-byte):
+
+* ``L`` — base network latency,
+* ``o`` — per-message CPU overhead (send + receive halves combined
+  unless split),
+* ``g`` — gap between consecutive small-message injections,
+* ``G`` — gap per byte for bulk transfers (1/bandwidth).
+
+These compose with a topology's hop latency: an effective one-way
+latency ``L_eff = L + hops * hop_latency``; the cost helpers below take
+``L_eff`` explicitly so machines can combine the pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LogGP:
+    """LogGP parameters for one machine's network."""
+
+    L: float      # base one-way latency (s)
+    o: float      # per-message CPU overhead (s)
+    g: float      # inter-message gap (s)
+    G: float      # per-byte gap (s/byte) == 1 / injection bandwidth
+
+    @property
+    def bandwidth(self) -> float:
+        """Injection bandwidth in bytes/second."""
+        return 1.0 / self.G
+
+    # -- composed costs ---------------------------------------------------
+    def small_message(self, L_eff: float | None = None) -> float:
+        """One-way time for a message of negligible size."""
+        L = self.L if L_eff is None else L_eff
+        return self.o + L
+
+    def round_trip(self, L_eff: float | None = None) -> float:
+        """Request/response pair (a blocking remote get)."""
+        L = self.L if L_eff is None else L_eff
+        return 2.0 * (self.o + L)
+
+    def bulk(self, nbytes: int, L_eff: float | None = None) -> float:
+        """One-way time for an ``nbytes`` transfer."""
+        L = self.L if L_eff is None else L_eff
+        return self.o + L + max(0, nbytes - 1) * self.G
+
+    def pipelined(self, n_messages: int, nbytes_each: int,
+                  L_eff: float | None = None) -> float:
+        """``n`` back-to-back non-blocking transfers, overlap permitted:
+        first message pays full latency, the rest are gap-limited."""
+        if n_messages <= 0:
+            return 0.0
+        L = self.L if L_eff is None else L_eff
+        per = max(self.g, self.o + nbytes_each * self.G)
+        first = self.o + L + max(0, nbytes_each - 1) * self.G
+        return first + (n_messages - 1) * per

@@ -1,0 +1,159 @@
+"""Per-benchmark communication-pattern generators for the DES.
+
+Each generator returns one operation list per rank — the communication
+skeleton of the corresponding case study, with computation collapsed to
+:class:`~repro.sim.des.Compute` blocks.  Tests execute these through
+:class:`~repro.sim.des.DesEngine` and check the closed-form phase models
+of :mod:`repro.sim.perfmodel` against the simulated makespans.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.sim.des import Barrier, Compute, Get, Put, Recv, Send, WaitAll
+from repro.sim.machine import Machine
+from repro.sim.topology import balanced_factors
+
+
+def gups_pattern(nranks: int, updates_per_rank: int,
+                 t_local: float, seed: int = 1) -> list[list]:
+    """Random Access: each rank issues fine-grained gets to random
+    owners (remote with probability 1 - 1/P), plus the local xor."""
+    rng = np.random.default_rng(seed)
+    programs = []
+    for r in range(nranks):
+        ops: list = []
+        targets = rng.integers(0, nranks, size=updates_per_rank)
+        for t in targets:
+            if t == r:
+                ops.append(Compute(t_local))
+            else:
+                ops.append(Get(int(t), 8))
+                ops.append(Compute(t_local))
+        ops.append(Barrier())
+        programs.append(ops)
+    return programs
+
+
+def halo3d_pattern(nranks: int, iters: int, face_bytes: int,
+                   t_compute: float, one_sided: bool = True) -> list[list]:
+    """Stencil/LULESH-style 3-D face exchange on a process grid.
+
+    ``one_sided=True`` produces the UPC++ shape (puts + fence);
+    ``False`` produces the MPI shape (isends modelled as sends, plus
+    matching receives).
+    """
+    dims = balanced_factors(nranks, 3)
+
+    def coords_of(rank: int) -> tuple[int, ...]:
+        c = []
+        for d in reversed(dims):
+            c.append(rank % d)
+            rank //= d
+        return tuple(reversed(c))
+
+    def rank_of(c) -> int:
+        r = 0
+        for x, d in zip(c, dims):
+            r = r * d + x
+        return r
+
+    def neighbors(rank: int) -> list[int]:
+        me = coords_of(rank)
+        out = []
+        for axis in range(3):
+            for step in (-1, 1):
+                nc = list(me)
+                nc[axis] += step
+                if 0 <= nc[axis] < dims[axis]:
+                    out.append(rank_of(nc))
+        return out
+
+    programs = []
+    for r in range(nranks):
+        nbrs = neighbors(r)
+        ops: list = []
+        for _ in range(iters):
+            ops.append(Compute(t_compute))
+            if one_sided:
+                for nb in nbrs:
+                    ops.append(Put(nb, face_bytes))
+                ops.append(WaitAll())
+            else:
+                for nb in nbrs:
+                    ops.append(Send(nb, face_bytes, tag=r))
+                for nb in nbrs:
+                    ops.append(Recv(nb, face_bytes, tag=nb))
+            ops.append(Barrier())
+        programs.append(ops)
+    return programs
+
+
+def alltoall_pattern(nranks: int, bytes_per_pair: int,
+                     t_compute: float) -> list[list]:
+    """Sample-Sort redistribution: local work then P-1 one-sided puts."""
+    programs = []
+    for r in range(nranks):
+        ops: list = [Compute(t_compute)]
+        for dst in range(nranks):
+            if dst != r:
+                ops.append(Put(dst, bytes_per_pair))
+        ops.append(WaitAll())
+        ops.append(Barrier())
+        programs.append(ops)
+    return programs
+
+
+def reduction_pattern(nranks: int, nbytes: int,
+                      t_compute_per_rank: list[float]) -> list[list]:
+    """Embree-style compute + binomial-tree sum reduction to rank 0."""
+    programs: list[list] = [[] for _ in range(nranks)]
+    for r in range(nranks):
+        programs[r].append(Compute(t_compute_per_rank[r]))
+    # Binomial tree: in round k, ranks with bit k set send to rank - 2^k.
+    k = 0
+    while (1 << k) < nranks:
+        step = 1 << k
+        for r in range(nranks):
+            if r & step and (r & (step - 1)) == 0:
+                parent = r - step
+                programs[r].append(Send(parent, nbytes, tag=k))
+            elif (r & ((step << 1) - 1)) == 0 and r + step < nranks:
+                programs[r].append(Recv(r + step, nbytes, tag=k))
+                programs[r].append(Compute(1e-9 * nbytes))  # add partials
+        k += 1
+    for r in range(nranks):
+        programs[r].append(Barrier())
+    return programs
+
+
+def dag_pattern() -> list[list]:
+    """The Listing-1 dependency graph as a two-sided DES program
+    (used to sanity-check event-driven scheduling costs)."""
+    # rank 0 is the orchestrator; tasks t1..t6 run on ranks 1..6 % n
+    n = 7
+    orch: list = []
+    programs: list[list] = [[] for _ in range(n)]
+    task_cost = 1e-4
+    for i, target in enumerate((1, 2), start=1):  # t1, t2
+        orch.append(Send(target, 64, tag=i))
+        programs[target] += [Recv(0, 64, tag=i), Compute(task_cost),
+                             Send(0, 64, tag=100 + i)]
+    orch += [Recv(1, 64, tag=101), Recv(2, 64, tag=102)]  # e1
+    orch.append(Send(3, 64, tag=3))                        # t3 after e1
+    programs[3] += [Recv(0, 64, tag=3), Compute(task_cost),
+                    Send(0, 64, tag=103)]
+    orch.append(Send(4, 64, tag=4))                        # t4
+    programs[4] += [Recv(0, 64, tag=4), Compute(task_cost),
+                    Send(0, 64, tag=104)]
+    orch += [Recv(3, 64, tag=103), Recv(4, 64, tag=104)]   # e2
+    for i, target in enumerate((5, 6), start=5):           # t5, t6
+        orch.append(Send(target, 64, tag=i))
+        programs[target] += [Recv(0, 64, tag=i), Compute(task_cost),
+                             Send(0, 64, tag=100 + i)]
+    orch += [Recv(5, 64, tag=105), Recv(6, 64, tag=106)]   # e3
+    programs[0] = orch
+    return programs

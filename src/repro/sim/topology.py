@@ -1,0 +1,172 @@
+"""Interconnect topology models.
+
+Two topologies matter for the paper's figures:
+
+* **Aries dragonfly** (Edison, Cray XC30): all-to-all connected groups
+  of routers; the diameter is tiny (≤ 5 hops: router → group hub →
+  global link → group hub → router) and grows only marginally with
+  system size, but *global-link bandwidth* tapers for bisection-heavy
+  traffic.
+* **5-D torus** (Vesta, IBM BG/Q): average hop distance grows with the
+  torus dimensions (~``sum(dims_i)/4`` for balanced tori with
+  bidirectional links), which is the latency growth visible in the
+  paper's Fig. 4.
+
+``as_networkx`` builds the explicit graph so tests can validate the
+closed-form average-hop formulas against true shortest paths for small
+networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+
+def balanced_factors(n: int, ndim: int) -> tuple[int, ...]:
+    """Factor ``n`` into ``ndim`` near-equal factors (descending).
+
+    Used to pick torus dimensions for a node count the way system
+    software partitions BG/Q midplanes.
+    """
+    if n < 1:
+        raise ValueError("need a positive node count")
+    factors: list[int] = []
+    m = n
+    f = 2
+    while f * f <= m:
+        while m % f == 0:
+            factors.append(f)
+            m //= f
+        f += 1
+    if m > 1:
+        factors.append(m)
+    dims = [1] * ndim
+    for f in sorted(factors, reverse=True):
+        dims[int(np.argmin(dims))] *= f
+    return tuple(sorted(dims, reverse=True))
+
+
+@dataclass(frozen=True)
+class Torus5D:
+    """A k-ary 5-D torus (BG/Q style)."""
+
+    nodes: int
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        return balanced_factors(self.nodes, 5)
+
+    def avg_hops(self) -> float:
+        """Mean shortest-path hop count between distinct nodes.
+
+        For one ring of length d the mean distance over all ordered
+        pairs (including self) is ``(d//2 * (d - d//2 + d%2)) / d`` —
+        computed exactly below by enumeration per dimension (dims are
+        tiny), then summed over dimensions (L1 metric on the torus).
+        """
+        if self.nodes == 1:
+            return 0.0
+        total = 0.0
+        for d in self.dims:
+            dist = [min(k, d - k) for k in range(d)]
+            total += sum(dist) / d
+        # Correct for excluding self-pairs: E[sum | not all zero].
+        return total * self.nodes / (self.nodes - 1)
+
+    def diameter(self) -> int:
+        return sum(d // 2 for d in self.dims)
+
+    def bisection_links(self) -> int:
+        """Links crossing the worst bisection (cut the longest dim)."""
+        dims = self.dims
+        other = self.nodes // dims[0]
+        return 2 * other  # torus wrap gives 2 links per cut column
+
+    def as_networkx(self) -> nx.Graph:
+        """The explicit torus graph (small sizes; validation only)."""
+        g = nx.Graph()
+        dims = self.dims
+        coords = list(np.ndindex(*dims))
+        for c in coords:
+            g.add_node(c)
+        for c in coords:
+            for axis, d in enumerate(dims):
+                if d == 1:
+                    continue
+                nbr = list(c)
+                nbr[axis] = (nbr[axis] + 1) % d
+                g.add_edge(c, tuple(nbr))
+        return g
+
+
+@dataclass(frozen=True)
+class Dragonfly:
+    """An Aries-like dragonfly: groups of routers, all-to-all between
+    groups; ``routers_per_group`` routers per group, ``nodes_per_router``
+    nodes per router."""
+
+    nodes: int
+    routers_per_group: int = 16
+    nodes_per_router: int = 4
+
+    @property
+    def routers(self) -> int:
+        return -(-self.nodes // self.nodes_per_router)
+
+    @property
+    def groups(self) -> int:
+        return max(1, -(-self.routers // self.routers_per_group))
+
+    def avg_hops(self) -> float:
+        """Mean router-to-router hops.
+
+        Same router: 0; same group: 1 (all-to-all intra-group, modelled
+        flat); other group: 3 (router → gateway → global link → router).
+        """
+        if self.routers == 1:
+            return 0.0
+        r = self.routers
+        same_router = 0.0
+        per_group = min(self.routers_per_group, r)
+        frac_same_group = (per_group - 1) / (r - 1) if r > 1 else 0.0
+        frac_other = 1.0 - frac_same_group
+        return same_router + frac_same_group * 1.0 + frac_other * 3.0
+
+    def diameter(self) -> int:
+        return 1 if self.groups == 1 else 3
+
+    def global_taper(self) -> float:
+        """Bandwidth taper factor (≥ 1) for bisection-heavy traffic.
+
+        All-to-all traffic on a dragonfly is limited by global links;
+        the effective per-node bandwidth shrinks roughly with the ratio
+        of nodes per group to global links per group.  We model a gentle
+        logarithmic taper, calibrated against the paper's Sample Sort
+        efficiency at 12288 cores (EXPERIMENTS.md).
+        """
+        if self.groups <= 1:
+            return 1.0
+        return 1.0 + 0.75 * np.log2(self.groups)
+
+    def as_networkx(self) -> nx.Graph:
+        """Explicit router graph (validation only, small sizes)."""
+        g = nx.Graph()
+        rpg = self.routers_per_group
+        routers = [(grp, i) for grp in range(self.groups)
+                   for i in range(min(rpg, self.routers - grp * rpg))]
+        g.add_nodes_from(routers)
+        # intra-group all-to-all
+        for grp in range(self.groups):
+            members = [r for r in routers if r[0] == grp]
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    g.add_edge(a, b)
+        # one global link between every pair of groups (router 0 acts
+        # as the gateway; adequate for hop-count validation)
+        for ga in range(self.groups):
+            for gb in range(ga + 1, self.groups):
+                g.add_edge((ga, 0), (gb, 0))
+        return g

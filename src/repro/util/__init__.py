@@ -1,0 +1,6 @@
+"""Small shared utilities (timers, RNG, formatting)."""
+
+from repro.util.timer import Timer
+from repro.util.rng import mt_seed_for_rank, splitmix64
+
+__all__ = ["Timer", "mt_seed_for_rank", "splitmix64"]

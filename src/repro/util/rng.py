@@ -1,0 +1,33 @@
+"""Deterministic random-number helpers.
+
+The paper's Sample Sort generates keys with the Mersenne Twister; the
+Random Access benchmark uses the HPCC polynomial sequence.  Both need
+per-rank *deterministic* streams so that distributed runs can be verified
+against serial replays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64(x: int) -> int:
+    """One step of the splitmix64 generator (used to derive seeds)."""
+    x = (x + _SPLITMIX_GAMMA) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def mt_seed_for_rank(base_seed: int, rank: int) -> np.random.Generator:
+    """A per-rank Mersenne-Twister-family generator.
+
+    Seeds are decorrelated through splitmix64 so neighbouring ranks do not
+    produce overlapping streams.
+    """
+    seed = splitmix64((base_seed << 20) ^ rank)
+    return np.random.Generator(np.random.MT19937(seed))

@@ -1,0 +1,30 @@
+"""Wall-clock timing helper used by the calibration and bench code."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """A context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+    def lap(self) -> float:
+        """Seconds since ``__enter__`` without stopping the timer."""
+        return time.perf_counter() - self.start

@@ -1,0 +1,328 @@
+"""DistNdArray: the paper's 'future work' distributed arrays."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.arrays import DistNdArray, Point, RectDomain, process_grid
+from repro.errors import DomainError
+from tests.conftest import run_spmd
+
+
+# -- process grids -------------------------------------------------------
+
+@pytest.mark.parametrize("n,ndim", [
+    (1, 3), (2, 2), (4, 2), (6, 3), (8, 3), (12, 2), (24, 3), (64, 3),
+])
+def test_process_grid_factors_exactly(n, ndim):
+    g = process_grid(n, ndim)
+    assert len(g) == ndim
+    prod = 1
+    for d in g:
+        prod *= d
+    assert prod == n
+
+
+def test_process_grid_squareness():
+    assert sorted(process_grid(64, 3)) == [4, 4, 4]
+    assert sorted(process_grid(16, 2)) == [4, 4]
+    assert sorted(process_grid(8, 3)) == [2, 2, 2]
+
+
+# -- partitioning ------------------------------------------------------------
+
+def test_interiors_partition_global_domain():
+    def body():
+        D = DistNdArray(np.float64, RectDomain((0, 0), (10, 7)))
+        n = repro.ranks()
+        seen = set()
+        total = 0
+        for r in range(n):
+            dom = D.interior_of(r)
+            pts = set(map(tuple, dom))
+            assert not (pts & seen)   # disjoint
+            seen |= pts
+            total += dom.size
+        assert total == 70            # covering
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_owner_of_matches_interiors():
+    def body():
+        D = DistNdArray(np.int64, RectDomain((0, 0), (8, 8)))
+        for r in range(repro.ranks()):
+            for p in D.interior_of(r):
+                assert D.owner_of(p) == r
+        with pytest.raises(DomainError):
+            D.owner_of(Point(100, 0))
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_rank_coords_roundtrip():
+    def body():
+        D = DistNdArray(np.int64, RectDomain((0, 0, 0), (6, 6, 6)))
+        for r in range(repro.ranks()):
+            assert D.rank_of(D.coords_of(r)) == r
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=8))
+
+
+def test_constructor_validation():
+    def body():
+        with pytest.raises(DomainError):
+            DistNdArray(np.int64, RectDomain((0,), (8,), (2,)))
+        with pytest.raises(DomainError):
+            DistNdArray(np.int64, RectDomain((0, 0), (8, 8)), ghost=-1)
+        with pytest.raises(DomainError):
+            DistNdArray(np.int64, RectDomain((0, 0), (8, 8)),
+                        pgrid=(3, 5))  # wrong rank product
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_global_indexing_routes_to_owner():
+    def body():
+        me = repro.myrank()
+        D = DistNdArray(np.int64, RectDomain((0, 0), (6, 6)))
+        D.interior_view()[:] = me
+        repro.barrier()
+        if me == 0:
+            for r in range(repro.ranks()):
+                p = D.interior_of(r).min_point()
+                assert D[p] == r
+                D[p] = 50 + r
+        repro.barrier()
+        assert D[D.my_interior.min_point()] == 50 + me
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_neighbors_face_and_corner_counts():
+    def body():
+        D = DistNdArray(np.int64, RectDomain((0, 0, 0), (8, 8, 8)),
+                        ghost=1)
+        nbrs = list(D.neighbors())
+        # on a 2x2x2 grid every rank has the other 7 as neighbours
+        assert len(nbrs) == 7
+        faces = [o for _r, o in nbrs if sum(map(abs, o)) == 1]
+        assert len(faces) == 3
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=8))
+
+
+def test_ghost_exchange_faces():
+    def body():
+        me = repro.myrank()
+        D = DistNdArray(np.float64, RectDomain((0, 0), (8, 8)), ghost=1)
+        D.interior_view()[:] = float(me)
+        D.ghost_exchange(faces_only=True)
+        for nbr_rank, offs in D.neighbors():
+            if sum(map(abs, offs)) != 1:
+                continue
+            halo = D._halo_region(offs)
+            gv = D.local.constrict(halo).local_view()
+            assert np.all(gv == float(nbr_rank))
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_ghost_exchange_includes_corners():
+    def body():
+        me = repro.myrank()
+        D = DistNdArray(np.float64, RectDomain((0, 0), (8, 8)), ghost=1)
+        D.interior_view()[:] = float(me)
+        D.ghost_exchange(faces_only=False)
+        for nbr_rank, offs in D.neighbors():
+            halo = D._halo_region(offs)
+            gv = D.local.constrict(halo).local_view()
+            assert np.all(gv == float(nbr_rank)), (me, nbr_rank, offs)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_ghost_exchange_without_ghosts_rejected():
+    def body():
+        D = DistNdArray(np.float64, RectDomain((0, 0), (4, 4)))
+        with pytest.raises(DomainError):
+            D.ghost_exchange()
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_wider_ghost_zones():
+    def body():
+        me = repro.myrank()
+        D = DistNdArray(np.float64, RectDomain((0, 0), (12, 12)), ghost=2)
+        D.interior_view()[:] = float(me)
+        D.ghost_exchange(faces_only=True)
+        for nbr_rank, offs in D.neighbors():
+            if sum(map(abs, offs)) != 1:
+                continue
+            halo = D._halo_region(offs)
+            assert halo.size == 2 * 6  # two ghost layers per face
+            gv = D.local.constrict(halo).local_view()
+            assert np.all(gv == float(nbr_rank))
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_to_numpy_gathers_global_array():
+    def body():
+        me = repro.myrank()
+        D = DistNdArray(np.int64, RectDomain((0, 0), (6, 6)))
+        D.interior_view()[:] = me
+        repro.barrier()
+        full = D.to_numpy()
+        for r in range(repro.ranks()):
+            dom = D.interior_of(r)
+            sl = tuple(slice(dom.lb[d], dom.ub[d]) for d in range(2))
+            assert np.all(full[sl] == r)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_nonzero_domain_origin():
+    def body():
+        me = repro.myrank()
+        D = DistNdArray(np.float64, RectDomain((5, -3), (13, 5)), ghost=1)
+        D.interior_view()[:] = me
+        D.ghost_exchange(faces_only=True)
+        repro.barrier()
+        full = D.to_numpy()
+        assert full.shape == (8, 8)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+# -- periodic boundaries -------------------------------------------------
+
+def test_periodic_ghost_wraps_around():
+    def body():
+        me = repro.myrank()
+        D = DistNdArray(np.float64, RectDomain((0, 0), (8, 8)), ghost=1,
+                        periodic=True)
+        D.interior_view()[:] = float(me)
+        D.ghost_exchange(faces_only=True)
+        # every rank now has ALL four face halos filled (wrap included)
+        for offs in (Point(-1, 0), Point(1, 0), Point(0, -1), Point(0, 1)):
+            halo = D._halo_region(offs)
+            gv = D.local.constrict(halo).local_view()
+            # value equals the (possibly wrapped) neighbour's rank
+            nc = [
+                (c + o) % p
+                for c, o, p in zip(D.my_coords, offs, D.pgrid)
+            ]
+            expect = float(D.rank_of(nc))
+            assert np.all(gv == expect), (me, tuple(offs), gv, expect)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_periodic_stencil_matches_np_roll():
+    """A periodic 4-point average equals the np.roll reference."""
+    def body():
+        me = repro.myrank()
+        N = 8
+        D = DistNdArray(np.float64, RectDomain((0, 0), (N, N)), ghost=1,
+                        periodic=True)
+        rng = np.random.default_rng(5)
+        init = rng.random((N, N))
+        dom = D.my_interior
+        sl = tuple(slice(dom.lb[d], dom.ub[d]) for d in range(2))
+        D.interior_view()[:] = init[sl]
+        repro.barrier()
+        D.ghost_exchange(faces_only=True)
+        a = D.local.local_view()
+        out = 0.25 * (a[1:-1, 2:] + a[1:-1, :-2]
+                      + a[2:, 1:-1] + a[:-2, 1:-1])
+        expect = 0.25 * (np.roll(init, -1, 1) + np.roll(init, 1, 1)
+                         + np.roll(init, -1, 0) + np.roll(init, 1, 0))
+        assert np.allclose(out, expect[sl], rtol=1e-14)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_mixed_periodic_axes():
+    def body():
+        D = DistNdArray(np.float64, RectDomain((0, 0), (8, 8)), ghost=1,
+                        periodic=(True, False))
+        n_wrapping = sum(
+            1 for _r, offs in D.neighbors()
+            if not all(
+                0 <= c < p
+                for c, p in zip(D.my_coords + offs, D.pgrid)
+            )
+        )
+        # on a 2x2 grid, the periodic x axis adds wrap neighbours, the
+        # non-periodic y axis does not
+        assert n_wrapping >= 1
+        D.interior_view()[:] = float(repro.myrank())
+        D.ghost_exchange(faces_only=True)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_periodic_single_rank_self_wrap():
+    """With one rank everything wraps to itself."""
+    def body():
+        N = 6
+        D = DistNdArray(np.float64, RectDomain((0, 0), (N, N)), ghost=1,
+                        periodic=True)
+        init = np.arange(N * N, dtype=float).reshape(N, N)
+        D.interior_view()[:] = init
+        D.ghost_exchange(faces_only=True)
+        a = D.local.local_view()
+        assert np.array_equal(a[0, 1:-1], init[-1, :])   # top ghost row
+        assert np.array_equal(a[-1, 1:-1], init[0, :])
+        assert np.array_equal(a[1:-1, 0], init[:, -1])
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=1))
+
+
+def test_periodic_validation():
+    def body():
+        with pytest.raises(DomainError):
+            DistNdArray(np.float64, RectDomain((0, 0), (8, 8)),
+                        ghost=1, periodic=(True,))
+        with pytest.raises(DomainError):
+            # ghost wider than a periodic block extent
+            DistNdArray(np.float64, RectDomain((0, 0), (4, 4)),
+                        ghost=3, periodic=True)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))

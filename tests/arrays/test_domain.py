@@ -1,0 +1,112 @@
+"""Multi-rectangle Domain algebra vs brute-force point sets."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.arrays import Domain, Point, RectDomain
+from repro.errors import DomainError
+from tests.arrays.test_rectdomain import brute_points, small_rd
+
+
+def unit_rd():
+    return small_rd(dim=2, lo=-5, hi=6, max_stride=1)
+
+
+def test_union_of_disjoint_rects():
+    d = RectDomain((0, 0), (2, 2)) + RectDomain((5, 5), (7, 7))
+    assert isinstance(d, Domain)
+    assert d.size == 8
+    assert Point(1, 1) in d and Point(6, 6) in d and Point(3, 3) not in d
+
+
+def test_union_deduplicates_overlap():
+    d = RectDomain((0, 0), (4, 4)) + RectDomain((2, 2), (6, 6))
+    assert d.size == 16 + 16 - 4
+
+
+def test_difference_produces_hole():
+    d = RectDomain((0, 0), (4, 4)) - RectDomain((1, 1), (3, 3))
+    assert d.size == 12
+    assert Point(0, 0) in d and Point(2, 2) not in d
+
+
+def test_paper_ghost_shell_idiom():
+    """interior = whole.shrink(1); shell = whole - interior."""
+    whole = RectDomain((0, 0, 0), (6, 6, 6))
+    shell = Domain([whole]) - Domain([whole.shrink(1)])
+    assert shell.size == 6 ** 3 - 4 ** 3
+    assert Point(0, 3, 3) in shell and Point(3, 3, 3) not in shell
+
+
+def test_intersection_distributes_over_pieces():
+    d = RectDomain((0, 0), (2, 6)) + RectDomain((4, 0), (6, 6))
+    box = RectDomain((1, 1), (5, 3))
+    inter = d * box
+    expect = (brute_points(RectDomain((0, 0), (2, 6)))
+              | brute_points(RectDomain((4, 0), (6, 6)))) \
+        & brute_points(box)
+    assert inter.point_set() == expect
+
+
+def test_equality_is_set_semantics():
+    a = RectDomain((0, 0), (2, 4)) + RectDomain((0, 4), (2, 8))
+    b = Domain([RectDomain((0, 0), (2, 8))])
+    assert a == b
+    assert a == RectDomain((0, 0), (2, 8))  # Domain vs RectDomain
+
+
+def test_domain_not_hashable():
+    with pytest.raises(TypeError):
+        hash(Domain([RectDomain((0,), (1,))]))
+
+
+def test_bounding_box():
+    d = RectDomain((0, 0), (1, 1)) + RectDomain((5, 7), (6, 8))
+    assert d.bounding_box() == RectDomain((0, 0), (6, 8))
+    with pytest.raises(DomainError):
+        Domain([]).bounding_box()
+
+
+def test_translate():
+    d = (RectDomain((0, 0), (2, 2)) - RectDomain((0, 0), (1, 1)))
+    t = d.translate(Point(10, 10))
+    assert Point(11, 11) in t and Point(10, 10) not in t
+
+
+def test_mixed_strides_difference_rejected():
+    a = RectDomain((0,), (10,), (1,))
+    b = RectDomain((0,), (10,), (2,))
+    with pytest.raises(DomainError):
+        _ = Domain([a]) - Domain([b])
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=unit_rd(), b=unit_rd())
+def test_union_matches_brute_force(a, b):
+    assert (a + b).point_set() == brute_points(a) | brute_points(b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=unit_rd(), b=unit_rd())
+def test_difference_matches_brute_force(a, b):
+    assert (a - b).point_set() == brute_points(a) - brute_points(b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=unit_rd(), b=unit_rd(), c=unit_rd())
+def test_de_morgan_flavour(a, b, c):
+    """(a ∪ b) ∩ c == (a ∩ c) ∪ (b ∩ c) as point sets."""
+    lhs = (a + b) * Domain([c])
+    rhs = Domain([a.intersect(c)]) + Domain([b.intersect(c)])
+    assert lhs.point_set() == rhs.point_set()
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=unit_rd(), b=unit_rd())
+def test_domain_pieces_are_disjoint(a, b):
+    d = a + b
+    seen = set()
+    for r in d.rects:
+        pts = brute_points(r)
+        assert not (pts & seen), "Domain pieces overlap"
+        seen |= pts

@@ -1,0 +1,103 @@
+"""Point arithmetic (paper §III-E points)."""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arrays import POINT, Point
+from repro.errors import DomainError
+
+coords = st.integers(-1000, 1000)
+
+
+def pts(dim):
+    return st.tuples(*([coords] * dim)).map(lambda t: Point(*t))
+
+
+def test_construction_forms():
+    assert Point(1, 2, 3) == Point((1, 2, 3)) == POINT(1, 2, 3)
+    assert Point([4, 5]) == Point(4, 5)
+
+
+def test_point_is_a_tuple_and_unpacks():
+    p = Point(1, 2, 3)
+    i, j, k = p
+    assert (i, j, k) == (1, 2, 3)
+    assert isinstance(p, tuple)
+    assert p[0] == 1 and p[-1] == 3
+
+
+def test_validation():
+    with pytest.raises(DomainError):
+        Point()
+    with pytest.raises(DomainError):
+        Point(1.5, 2)
+
+
+def test_helpers():
+    assert Point.all(7, 3) == Point(7, 7, 7)
+    assert Point.zero(2) == Point(0, 0)
+    assert Point.ones(2) == Point(1, 1)
+    assert Point(1, 2, 3).replace(1, 9) == Point(1, 9, 3)
+    assert Point(1, 2, 3).drop(0) == Point(2, 3)
+    assert Point(1, 2, 3).permute((2, 0, 1)) == Point(3, 1, 2)
+
+
+def test_drop_last_dim_rejected():
+    with pytest.raises(DomainError):
+        Point(5).drop(0)
+
+
+def test_bad_permutation_rejected():
+    with pytest.raises(DomainError):
+        Point(1, 2).permute((0, 0))
+
+
+def test_scalar_broadcast():
+    assert Point(1, 2) + 1 == Point(2, 3)
+    assert Point(4, 6) * 2 == Point(8, 12)
+    assert Point(7, 9) // 2 == Point(3, 4)
+    assert Point(7, 9) % 2 == Point(1, 1)
+    assert 10 - Point(1, 2) == Point(9, 8)
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(DomainError):
+        Point(1, 2) + Point(1, 2, 3)
+
+
+def test_componentwise_partial_order():
+    assert Point(1, 1) < Point(2, 2)
+    assert not Point(1, 3) < Point(2, 2)   # incomparable
+    assert not Point(2, 2) < Point(1, 3)
+    assert Point(2, 2) <= Point(2, 2)
+    assert Point(3, 3) > Point(2, 2)
+
+
+def test_min_max_dot():
+    assert Point(1, 5).min(Point(2, 3)) == Point(1, 3)
+    assert Point(1, 5).max(Point(2, 3)) == Point(2, 5)
+    assert Point(1, 2, 3).dot(Point(4, 5, 6)) == 32
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=pts(3), b=pts(3), c=pts(3))
+def test_addition_group_laws(a, b, c):
+    assert a + b == b + a
+    assert (a + b) + c == a + (b + c)
+    assert a + Point.zero(3) == a
+    assert a + (-a) == Point.zero(3)
+    assert a - b == a + (-b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=pts(2), b=pts(2))
+def test_arithmetic_matches_componentwise(a, b):
+    assert tuple(a + b) == tuple(x + y for x, y in zip(a, b))
+    assert tuple(a * b) == tuple(x * y for x, y in zip(a, b))
+
+
+def test_pickle_roundtrip():
+    p = Point(3, -1, 4)
+    assert pickle.loads(pickle.dumps(p)) == p

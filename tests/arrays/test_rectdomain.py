@@ -1,0 +1,226 @@
+"""Rectangular domains: geometry, algebra, transformations.
+
+Property tests compare the closed-form operations against brute-force
+point-set computations on small domains.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arrays import Point, RECTDOMAIN, RectDomain
+from repro.errors import DomainError
+
+
+def small_rd(dim=2, lo=-6, hi=7, max_stride=3):
+    bound = st.integers(lo, hi)
+    stride = st.integers(1, max_stride)
+    return st.tuples(
+        st.tuples(*([bound] * dim)),
+        st.tuples(*([bound] * dim)),
+        st.tuples(*([stride] * dim)),
+    ).map(lambda t: RectDomain(Point(*t[0]), Point(*t[1]), Point(*t[2])))
+
+
+def brute_points(rd: RectDomain) -> set:
+    out = set()
+    if rd.dim == 1:
+        rng = range(rd.lb[0], rd.ub[0])
+        return {(x,) for x in rng if (x - rd.lb[0]) % rd.stride[0] == 0}
+    for x in range(rd.lb[0], max(rd.lb[0], rd.ub[0])):
+        if (x - rd.lb[0]) % rd.stride[0]:
+            continue
+        for y in range(rd.lb[1], max(rd.lb[1], rd.ub[1])):
+            if (y - rd.lb[1]) % rd.stride[1]:
+                continue
+            out.add((x, y))
+    return out
+
+
+# -- construction & geometry ---------------------------------------------
+
+def test_paper_example_shape():
+    """RECTDOMAIN((1,2,3), (5,6,7), (1,1,2)) from §III-E."""
+    rd = RECTDOMAIN((1, 2, 3), (5, 6, 7), (1, 1, 2))
+    assert rd.shape == (4, 4, 2)
+    assert Point(1, 2, 3) in rd
+    assert Point(1, 2, 4) not in rd  # stride 2 in z
+    assert Point(1, 2, 5) in rd
+
+
+def test_exclusive_upper_bound():
+    """Paper footnote 1: UPC++ uses exclusive upper bounds."""
+    rd = RectDomain((0, 0), (8, 8))
+    assert Point(7, 7) in rd
+    assert Point(8, 8) not in rd
+    assert rd.size == 64
+
+
+def test_empty_domain():
+    rd = RectDomain((3, 3), (3, 5))
+    assert rd.is_empty and rd.size == 0
+    assert list(rd) == []
+    with pytest.raises(DomainError):
+        rd.min_point()
+
+
+def test_validation():
+    with pytest.raises(DomainError):
+        RectDomain((0,), (5, 5))
+    with pytest.raises(DomainError):
+        RectDomain((0, 0), (5, 5), (0, 1))
+
+
+def test_iteration_row_major():
+    rd = RectDomain((0, 0), (2, 2))
+    assert list(rd) == [Point(0, 0), Point(0, 1), Point(1, 0), Point(1, 1)]
+
+
+def test_min_max_points():
+    rd = RectDomain((1,), (10,), (3,))
+    assert rd.min_point() == Point(1)
+    assert rd.max_point() == Point(7)
+    assert rd.size == 3
+
+
+def test_equality_and_hash():
+    a = RectDomain((0, 0), (4, 4))
+    b = RectDomain((0, 0), (4, 4))
+    assert a == b and hash(a) == hash(b)
+    assert a != RectDomain((0, 0), (4, 5))
+    # all empty domains of an arity are equal
+    assert RectDomain((5, 5), (5, 5)) == RectDomain((9, 0), (0, 9))
+
+
+@settings(max_examples=150, deadline=None)
+@given(rd=small_rd())
+def test_shape_size_iteration_consistent(rd):
+    pts = list(rd)
+    assert len(pts) == rd.size
+    assert set(map(tuple, pts)) == brute_points(rd)
+    for p in pts:
+        assert p in rd
+
+
+# -- intersection (paper's rd1 * rd2) ------------------------------------
+
+@settings(max_examples=150, deadline=None)
+@given(a=small_rd(), b=small_rd())
+def test_intersection_matches_brute_force(a, b):
+    inter = a.intersect(b)
+    assert set(map(tuple, inter)) == brute_points(a) & brute_points(b)
+
+
+def test_intersection_operator():
+    a = RectDomain((0, 0), (4, 4))
+    b = RectDomain((2, 2), (6, 6))
+    assert a * b == RectDomain((2, 2), (4, 4))
+
+
+def test_strided_intersection_congruence():
+    a = RectDomain((0,), (30,), (4,))   # 0,4,8,...
+    b = RectDomain((2,), (30,), (6,))   # 2,8,14,...
+    inter = a.intersect(b)
+    assert set(map(tuple, inter)) == {(8,), (20,)}
+    assert inter.stride == Point(12)
+
+
+def test_incompatible_lattices_are_empty():
+    a = RectDomain((0,), (20,), (2,))   # evens
+    b = RectDomain((1,), (20,), (2,))   # odds
+    assert a.intersect(b).is_empty
+
+
+def test_intersection_arity_mismatch():
+    with pytest.raises(DomainError):
+        RectDomain((0,), (2,)).intersect(RectDomain((0, 0), (2, 2)))
+
+
+# -- transformations ----------------------------------------------------------
+
+def test_translate():
+    rd = RectDomain((0, 0), (2, 2)).translate(Point(10, 20))
+    assert rd == RectDomain((10, 20), (12, 22))
+
+
+def test_permute():
+    rd = RectDomain((0, 1, 2), (4, 5, 6)).permute((2, 1, 0))
+    assert rd == RectDomain((2, 1, 0), (6, 5, 4))
+
+
+def test_slice():
+    rd = RectDomain((0, 0, 0), (4, 4, 4))
+    s = rd.slice(1, 2)
+    assert s == RectDomain((0, 0), (4, 4))
+    with pytest.raises(DomainError):
+        rd.slice(1, 9)
+    with pytest.raises(DomainError):
+        rd.slice(5, 0)
+
+
+def test_shrink_accrete_roundtrip():
+    rd = RectDomain((0, 0, 0), (8, 8, 8))
+    assert rd.shrink(1).accrete(1) == rd
+    assert rd.shrink(2) == RectDomain((2, 2, 2), (6, 6, 6))
+    with pytest.raises(DomainError):
+        RectDomain((0,), (9,), (2,)).shrink(1)
+
+
+def test_border_and_halo():
+    rd = RectDomain((0, 0), (4, 4))
+    assert rd.border(0, -1) == RectDomain((0, 0), (1, 4))
+    assert rd.border(0, +1) == RectDomain((3, 0), (4, 4))
+    assert rd.halo(0, -1) == RectDomain((-1, 0), (0, 4))
+    assert rd.halo(1, +1, width=2) == RectDomain((0, 4), (4, 6))
+    with pytest.raises(DomainError):
+        rd.border(0, 2)
+
+
+def test_border_width_clamps_to_domain():
+    rd = RectDomain((0,), (3,))
+    assert rd.border(0, -1, width=10) == rd
+
+
+def test_pickle_roundtrip():
+    rd = RectDomain((1, 2), (9, 9), (1, 3))
+    assert pickle.loads(pickle.dumps(rd)) == rd
+
+
+def test_inject_scales_lattice():
+    d = RectDomain((1,), (4,))          # {1, 2, 3}
+    inj = d.inject(3)
+    assert set(map(tuple, inj)) == {(3,), (6,), (9,)}
+    assert inj.stride == Point(3)
+
+
+def test_inject_project_roundtrip():
+    d = RectDomain((0, 2), (6, 8), (2, 3))
+    assert d.inject(4).project(4) == d
+    assert d.inject(Point(2, 5)).project(Point(2, 5)) == d
+
+
+def test_project_requires_divisibility():
+    with pytest.raises(DomainError):
+        RectDomain((1,), (5,)).project(2)   # lb not divisible
+    with pytest.raises(DomainError):
+        RectDomain((0,), (5,)).project(2)   # stride 1 not divisible
+
+
+def test_inject_validation():
+    with pytest.raises(DomainError):
+        RectDomain((0,), (3,)).inject(0)
+
+
+def test_inject_empty_domain():
+    d = RectDomain((2,), (2,))
+    assert d.inject(3).is_empty
+
+
+@settings(max_examples=80, deadline=None)
+@given(rd=small_rd(), k=st.integers(1, 4))
+def test_inject_pointwise_property(rd, k):
+    inj = rd.inject(k)
+    assert set(map(tuple, inj)) == {
+        tuple(c * k for c in p) for p in rd
+    }

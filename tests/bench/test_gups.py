@@ -1,0 +1,67 @@
+"""Random Access benchmark: HPCC stream, verification, variants."""
+
+import numpy as np
+import pytest
+
+from repro.bench import gups
+
+
+def test_hpcc_stream_matches_reference_recurrence():
+    out = gups.hpcc_stream(1, 6)
+    ran = 1
+    expect = []
+    for _ in range(6):
+        ran = ((ran << 1) & ((1 << 64) - 1)) ^ (
+            gups.POLY if ran & (1 << 63) else 0
+        )
+        expect.append(ran)
+    assert list(out) == expect
+
+
+def test_hpcc_stream_is_deterministic():
+    a = gups.hpcc_stream(12345, 100)
+    b = gups.hpcc_stream(12345, 100)
+    assert np.array_equal(a, b)
+
+
+def test_hpcc_starts_jump():
+    assert gups.hpcc_starts(0) == 1
+    s3 = gups.hpcc_starts(3)
+    assert gups.hpcc_stream(1, 3)[-1] == s3
+
+
+def test_streams_differ_per_start():
+    assert not np.array_equal(gups.hpcc_stream(1, 50),
+                              gups.hpcc_stream(2, 50))
+
+
+@pytest.mark.parametrize("variant", ["upcxx", "upc"])
+def test_random_access_verifies(variant):
+    r = gups.run(ranks=4, log2_table_size=9, updates_per_rank=64,
+                 variant=variant)
+    assert r.verified
+    assert r.updates == 4 * 64
+    assert r.table_size == 512
+    assert r.seconds > 0
+
+
+def test_remote_fraction_reflects_distribution():
+    """With a cyclic table over 4 ranks, ~3/4 of updates are remote."""
+    r = gups.run(ranks=4, log2_table_size=10, updates_per_rank=256)
+    assert 0.55 < r.remote_fraction < 0.95
+
+
+def test_single_rank_all_local():
+    r = gups.run(ranks=1, log2_table_size=8, updates_per_rank=64)
+    assert r.verified
+    assert r.remote_fraction == 0.0
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(ValueError):
+        gups.run(ranks=2, updates_per_rank=8, variant="chapel")
+
+
+def test_gups_metric_positive():
+    r = gups.run(ranks=2, log2_table_size=8, updates_per_rank=32)
+    assert r.gups > 0

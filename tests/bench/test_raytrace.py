@@ -1,0 +1,78 @@
+"""Distributed renderer: bit-identical to the serial oracle."""
+
+import numpy as np
+import pytest
+
+from repro.bench import raytrace
+from repro.bench.raytrace import Scene, render_serial, render_tile
+
+
+def test_render_tile_deterministic():
+    s = Scene()
+    a = render_tile(s, 32, 8, 1, 2, spp=2)
+    b = render_tile(s, 32, 8, 1, 2, spp=2)
+    assert np.array_equal(a, b)
+    assert a.shape == (8, 8, 3)
+    assert a.min() >= 0.0 and a.max() <= 1.0
+
+
+def test_tiles_independent_of_who_renders():
+    """Per-pixel seeding: a tile's pixels don't depend on tile order."""
+    s = Scene()
+    full = render_serial(s, 16, 8, spp=1)
+    t = render_tile(s, 16, 8, 1, 0, spp=1)
+    assert np.array_equal(full[8:16, 0:8], t)
+
+
+def test_image_has_structure():
+    """Sanity: scene visible (not a constant image), shadows darken."""
+    s = Scene()
+    img = render_serial(s, 32, 8, spp=1)
+    assert img.std() > 0.05
+
+
+@pytest.mark.parametrize("ranks", [1, 2, 4, 5])
+def test_distributed_equals_serial(ranks):
+    r = raytrace.run(ranks=ranks, image=24, tile=8, spp=1)
+    assert r.verified
+
+
+def test_cyclic_distribution_counts():
+    r = raytrace.run(ranks=3, image=32, tile=8, spp=1)
+    # 16 tiles over 3 ranks cyclically: rank 0 renders ceil(16/3)=6
+    assert r.tiles_rendered == 6
+    assert r.verified
+
+
+def test_supersampling_changes_image():
+    s = Scene()
+    a = render_serial(s, 16, 8, spp=1)
+    b = render_serial(s, 16, 8, spp=4)
+    assert not np.array_equal(a, b)
+
+
+# -- the §V-D future-work extensions -----------------------------------------
+
+def test_dynamic_render_equals_serial_under_full_skew():
+    """Work-stealing + one-sided tile delivery: all tiles seeded on
+    rank 0, output must still be bit-identical to the serial render."""
+    res = raytrace.run_dynamic(ranks=4, image=32, tile=8, spp=1,
+                               skew=True)
+    assert all(r["verified"] for r in res)
+    assert res[0]["total_rendered"] == 16
+
+
+def test_dynamic_render_actually_steals():
+    res = raytrace.run_dynamic(ranks=4, image=64, tile=8, spp=1,
+                               skew=True)
+    assert all(r["verified"] for r in res)
+    assert sum(r["steals"] for r in res) > 0
+    # rank 0 no longer renders everything
+    assert res[0]["rendered"] < res[0]["total_rendered"]
+
+
+def test_dynamic_render_balanced_seed():
+    res = raytrace.run_dynamic(ranks=4, image=32, tile=8, spp=1,
+                               skew=False)
+    assert all(r["verified"] for r in res)
+    assert res[0]["total_rendered"] == 16

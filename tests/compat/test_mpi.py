@@ -1,0 +1,263 @@
+"""Two-sided MPI-like layer: matching semantics, buffers, collectives."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.compat import mpi
+from tests.conftest import run_spmd
+
+
+def test_send_recv_object():
+    def body():
+        me = repro.myrank()
+        if me == 0:
+            mpi.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+        elif me == 1:
+            data = mpi.recv(source=0, tag=11)
+            assert data == {"a": 7, "b": 3.14}
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_isend_irecv_nonblocking():
+    def body():
+        me = repro.myrank()
+        if me == 0:
+            req = mpi.isend([1, 2, 3], dest=1, tag=5)
+            req.wait()
+        elif me == 1:
+            req = mpi.irecv(source=0, tag=5)
+            assert req.wait() == [1, 2, 3]
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_tag_matching_is_selective():
+    def body():
+        me = repro.myrank()
+        if me == 0:
+            mpi.send("tag-1", dest=1, tag=1)
+            mpi.send("tag-2", dest=1, tag=2)
+        elif me == 1:
+            # receive out of order by tag
+            assert mpi.recv(source=0, tag=2) == "tag-2"
+            assert mpi.recv(source=0, tag=1) == "tag-1"
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_fifo_order_within_same_tag():
+    def body():
+        me = repro.myrank()
+        if me == 0:
+            for i in range(5):
+                mpi.send(i, dest=1, tag=0)
+        elif me == 1:
+            got = [mpi.recv(source=0, tag=0) for _ in range(5)]
+            assert got == list(range(5))
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_wildcards():
+    def body():
+        me = repro.myrank()
+        if me in (1, 2):
+            mpi.send(me, dest=0, tag=me * 10)
+        if me == 0:
+            a = mpi.recv(source=mpi.ANY_SOURCE, tag=mpi.ANY_TAG)
+            b = mpi.recv(source=mpi.ANY_SOURCE, tag=mpi.ANY_TAG)
+            assert sorted([a, b]) == [1, 2]
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_request_source_and_tag_populated():
+    def body():
+        me = repro.myrank()
+        if me == 0:
+            req = mpi.irecv(source=mpi.ANY_SOURCE, tag=mpi.ANY_TAG)
+            req.wait()
+            assert req.source == 1 and req.tag == 42
+        elif me == 1:
+            mpi.send("x", dest=0, tag=42)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_buffer_send_recv_numpy():
+    """Uppercase buffer fast path (the mpi4py idiom from the guides)."""
+    def body():
+        me = repro.myrank()
+        if me == 0:
+            mpi.Send(np.arange(100, dtype=np.float64), dest=1, tag=7)
+        elif me == 1:
+            buf = np.empty(100, dtype=np.float64)
+            mpi.Recv(buf, source=0, tag=7)
+            assert np.array_equal(buf, np.arange(100.0))
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_irecv_buffer_filled_at_wait():
+    def body():
+        me = repro.myrank()
+        if me == 1:
+            buf = np.zeros(8, dtype=np.int64)
+            req = mpi.Irecv(buf, source=0, tag=3)
+            repro.barrier()  # let the send happen
+            out = req.wait()
+            assert out is buf
+            assert np.array_equal(buf, np.arange(8))
+        else:
+            if me == 0:
+                mpi.Send(np.arange(8, dtype=np.int64), dest=1, tag=3)
+            repro.barrier()
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_sendrecv_ring_shift():
+    def body():
+        me = repro.myrank()
+        n = repro.ranks()
+        got = mpi.sendrecv(me, dest=(me + 1) % n, source=(me - 1) % n)
+        assert got == (me - 1) % n
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_waitall():
+    def body():
+        me = repro.myrank()
+        n = repro.ranks()
+        if me == 0:
+            reqs = [mpi.irecv(source=s, tag=0) for s in range(1, n)]
+            values = mpi.waitall(reqs)
+            assert sorted(values) == list(range(1, n))
+        else:
+            mpi.send(me, dest=0, tag=0)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_comm_world_facade():
+    def body():
+        comm = mpi.COMM_WORLD
+        assert comm.Get_size() == repro.ranks()
+        assert comm.Get_rank() == repro.myrank()
+        total = comm.allreduce(comm.Get_rank())
+        comm.Barrier()
+        data = comm.bcast({"k": 1} if comm.Get_rank() == 0 else None)
+        assert data == {"k": 1}
+        return total
+
+    assert run_spmd(body, ranks=3) == [3, 3, 3]
+
+
+def test_unexpected_messages_buffered():
+    """Sends arriving before the recv is posted are not lost."""
+    def body():
+        me = repro.myrank()
+        if me == 0:
+            mpi.send("early", dest=1, tag=9)
+        repro.barrier()  # message is already at rank 1
+        if me == 1:
+            assert mpi.recv(source=0, tag=9) == "early"
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_mpi4py_style_pi_pattern():
+    """The classic compute-pi reduction, mpi4py tutorial shape."""
+    def body():
+        comm = mpi.COMM_WORLD
+        n, rank, size = 128, comm.Get_rank(), comm.Get_size()
+        h = 1.0 / n
+        s = sum(
+            4.0 / (1.0 + ((i + 0.5) * h) ** 2)
+            for i in range(rank, n, size)
+        )
+        pi = comm.allreduce(s * h)
+        assert abs(pi - 3.14159265) < 1e-3
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_iprobe_and_probe():
+    def body():
+        me = repro.myrank()
+        if me == 0:
+            assert not mpi.iprobe()        # nothing yet
+            repro.barrier()
+            mpi.probe(source=1, tag=5)     # blocks until arrival
+            assert mpi.iprobe(source=1, tag=5)
+            assert not mpi.iprobe(tag=99)  # wrong tag: no match
+            assert mpi.recv(source=1, tag=5) == "ping"
+            assert not mpi.iprobe()        # consumed
+        else:
+            repro.barrier()
+            mpi.send("ping", dest=0, tag=5)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_probe_does_not_consume():
+    def body():
+        me = repro.myrank()
+        if me == 1:
+            mpi.send(123, dest=0, tag=1)
+        repro.barrier()
+        if me == 0:
+            mpi.probe(source=1, tag=1)
+            mpi.probe(source=1, tag=1)  # still there
+            assert mpi.recv(source=1, tag=1) == 123
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_request_test_polls_progress():
+    def body():
+        me = repro.myrank()
+        if me == 0:
+            req = mpi.irecv(source=1, tag=4)
+            assert not req.test()
+            repro.barrier()          # rank 1 sends after this
+            while not req.test():
+                pass                 # test() drives progress itself
+            assert req.wait() == "late"
+        else:
+            repro.barrier()
+            mpi.send("late", dest=0, tag=4)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))

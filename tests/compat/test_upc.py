@@ -1,0 +1,200 @@
+"""UPC veneer: Table I idioms and UPC pointer-phase semantics."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.compat import upc
+from repro.errors import BadPointer
+from tests.conftest import run_spmd
+
+
+def test_threads_mythread():
+    def body():
+        return (upc.MYTHREAD(), upc.THREADS())
+
+    assert run_spmd(body, ranks=3) == [(r, 3) for r in range(3)]
+
+
+def test_shared_array_declaration():
+    """shared [BS] int A[size] -> upc.shared_array(int, size, BS)."""
+    def body():
+        A = upc.shared_array(np.int64, 12, block=3)
+        assert A.block == 3 and len(A) == 12
+        if upc.MYTHREAD() == 0:
+            A[0] = 5
+        upc.upc_barrier()
+        return int(A[0])
+
+    assert run_spmd(body, ranks=2) == [5, 5]
+
+
+def test_upc_pointer_phase_walks_threads():
+    """UPC pointer arithmetic hops threads; UPC++ pointers don't.  The
+    paper's §III-B contrast, demonstrated side by side."""
+    def body():
+        A = upc.shared_array(np.int64, 12, block=2)
+        upc.upc_barrier()
+        p = upc.UpcSharedPtr(A, 0)
+        threads = [(p + i).thread for i in range(8)]
+        phases = [(p + i).phase for i in range(8)]
+        n = repro.ranks()
+        # block-cyclic walk: 2 elements on t0, 2 on t1, ... wrap
+        assert threads == [(i // 2) % n for i in range(8)]
+        assert phases == [i % 2 for i in range(8)]
+        # the phase-less UPC++ pointer stays on its owner instead
+        g = A.gptr(0)
+        assert all((g + i).rank == g.rank for i in range(8))
+        upc.upc_barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_upc_pointer_deref_assign():
+    def body():
+        A = upc.shared_array(np.int64, 8)
+        upc.upc_barrier()
+        if upc.MYTHREAD() == 0:
+            p = upc.UpcSharedPtr(A, 3)
+            p.assign(77)
+            assert p.deref() == 77
+            p[1] = 78  # A[4]
+        upc.upc_barrier()
+        return (int(A[3]), int(A[4]))
+
+    assert run_spmd(body, ranks=2) == [(77, 78)] * 2
+
+
+def test_upc_pointer_difference():
+    def body():
+        A = upc.shared_array(np.int64, 8)
+        B = upc.shared_array(np.int64, 8)
+        p, q = upc.UpcSharedPtr(A, 6), upc.UpcSharedPtr(A, 2)
+        assert p - q == 4
+        assert (p - 2).index == 4
+        with pytest.raises(BadPointer):
+            _ = p - upc.UpcSharedPtr(B, 0)
+        upc.upc_barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_cast_to_global_ptr_drops_phase():
+    def body():
+        A = upc.shared_array(np.int64, 8, block=2)
+        upc.upc_barrier()
+        p = upc.UpcSharedPtr(A, 2)
+        g = p.to_global_ptr()
+        assert g.rank == p.thread
+        upc.upc_barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_upc_alloc_and_free():
+    def body():
+        ptr = upc.upc_alloc(64)
+        assert ptr.where() == upc.MYTHREAD()
+        upc.upc_free(ptr)
+        upc.upc_barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_upc_all_alloc_layout():
+    """upc_all_alloc(nblocks, nbytes): block b on thread b % THREADS."""
+    def body():
+        sa = upc.upc_all_alloc(6, 4)
+        assert len(sa) == 24 and sa.block == 4
+        n = repro.ranks()
+        assert [sa.where(b * 4) for b in range(6)] == [b % n
+                                                       for b in range(6)]
+        upc.upc_barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_upc_memget_memput():
+    def body():
+        me = upc.MYTHREAD()
+        dst = None
+        if me == 0:
+            dst = repro.allocate(1, 16, np.uint8)
+        dst = repro.collectives.bcast(dst, root=0)
+        if me == 0:
+            upc.upc_memput(dst, np.arange(16, dtype=np.uint8), 16)
+        upc.upc_barrier()
+        if me == 1:
+            out = np.zeros(16, dtype=np.uint8)
+            upc.upc_memget(out, dst, 16)
+            assert np.array_equal(out, np.arange(16, dtype=np.uint8))
+        upc.upc_barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_upc_forall_integer_affinity_partitions_iterations():
+    """Every iteration executed exactly once across threads."""
+    def body():
+        mine = list(upc.upc_forall(20, affinity=lambda i: i))
+        assert all(i % repro.ranks() == repro.myrank() for i in mine)
+        counts = repro.collectives.allreduce(len(mine))
+        assert counts == 20
+        all_mine = repro.collectives.allgather(mine)
+        flat = sorted(i for sub in all_mine for i in sub)
+        assert flat == list(range(20))
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_upc_forall_shared_array_affinity():
+    """Pointer-to-shared affinity: iterate where the data lives."""
+    def body():
+        A = upc.shared_array(np.int64, 17, block=2)
+        upc.upc_barrier()
+        mine = list(upc.upc_forall(17, affinity=A))
+        assert all(A.where(i) == upc.MYTHREAD() for i in mine)
+        total = repro.collectives.allreduce(len(mine))
+        assert total == 17
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_upc_forall_no_affinity_runs_everywhere():
+    def body():
+        assert list(upc.upc_forall(5)) == [0, 1, 2, 3, 4]
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_upc_forall_bad_affinity():
+    def body():
+        with pytest.raises(TypeError):
+            list(upc.upc_forall(5, affinity=3.14))
+        return True
+
+    assert all(run_spmd(body, ranks=1))
+
+
+def test_upc_forall_constant_affinity():
+    """UPC's constant integer affinity: one thread runs all iterations."""
+    def body():
+        mine = list(upc.upc_forall(6, affinity=1))
+        if upc.MYTHREAD() == 1:
+            assert mine == [0, 1, 2, 3, 4, 5]
+        else:
+            assert mine == []
+        total = repro.collectives.allreduce(len(mine))
+        assert total == 6
+        return True
+
+    assert all(run_spmd(body, ranks=3))

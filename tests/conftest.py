@@ -1,0 +1,32 @@
+"""Shared test fixtures/helpers.
+
+``run_spmd`` wraps :func:`repro.spmd` with a short watchdog timeout so a
+regression that deadlocks a collective fails the test quickly instead of
+hanging the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+def run_spmd(fn, ranks: int = 4, timeout: float = 30.0, **kwargs):
+    """Run an SPMD body with a test-friendly watchdog."""
+    return repro.spmd(fn, ranks=ranks, timeout=timeout, **kwargs)
+
+
+@pytest.fixture
+def spmd4():
+    """Run the decorated body on 4 ranks, returning per-rank results."""
+    def runner(fn, **kwargs):
+        return run_spmd(fn, ranks=4, **kwargs)
+
+    return runner
+
+
+@pytest.fixture(params=[1, 2, 4, 7])
+def nranks(request):
+    """A spread of world sizes including 1 and a non-power-of-two."""
+    return request.param

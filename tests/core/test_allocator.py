@@ -1,0 +1,157 @@
+"""Dynamic global memory management (paper §III-C): local and remote."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import BadPointer, SegmentOutOfMemory
+from tests.conftest import run_spmd
+
+
+def test_paper_example_allocate_on_rank_2():
+    """'allocates space for 64 integers on thread 2' (paper §III-C)."""
+    def body():
+        sp = repro.allocate(2, 64, np.int64)
+        assert sp.where() == 2
+        repro.barrier()
+        repro.deallocate(sp)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_remote_allocation_lands_in_owner_segment():
+    def body():
+        me = repro.myrank()
+        target = (me + 1) % repro.ranks()
+        before = repro.current_world().ranks[target].segment.bytes_in_use
+        p = repro.allocate(target, 100, np.float64)
+        after = repro.current_world().ranks[target].segment.bytes_in_use
+        assert after - before >= 800
+        repro.barrier()
+        repro.deallocate(p)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_allocation_is_zero_initialized():
+    def body():
+        p = repro.allocate((repro.myrank() + 1) % repro.ranks(), 32,
+                           np.int32)
+        assert np.all(p.get(32) == 0)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_remote_deallocate_from_any_rank():
+    """'freed by calling deallocate from any UPC++ thread' (§III-C)."""
+    def body():
+        me = repro.myrank()
+        p = None
+        if me == 0:
+            p = repro.allocate(1, 16, np.int64)  # memory on rank 1
+        p = repro.collectives.bcast(p, root=0)
+        repro.barrier()
+        if me == 2:
+            repro.deallocate(p)  # a third rank frees it
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_remote_double_free_raises_at_caller():
+    def body():
+        me = repro.myrank()
+        if me == 0:
+            p = repro.allocate(1, 16, np.int64)
+            repro.deallocate(p)
+            with pytest.raises(BadPointer):
+                repro.deallocate(p)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_deallocate_null_is_noop():
+    def body():
+        repro.deallocate(repro.null_ptr())
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_segment_exhaustion_raises():
+    def body():
+        with pytest.raises(SegmentOutOfMemory):
+            repro.allocate(repro.myrank(), 1 << 30, np.uint8)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_remote_exhaustion_raises_at_caller():
+    def body():
+        me = repro.myrank()
+        if me == 0:
+            with pytest.raises(SegmentOutOfMemory):
+                repro.allocate(1, 1 << 30, np.uint8)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_alignment_respects_dtype():
+    def body():
+        p = repro.allocate(0, 3, np.float64)
+        assert p.offset % 8 == 0
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_escalate_private_array_to_shared():
+    """Paper §III-C: escalating a private object into a shared object.
+
+    (Deviation note in the docstring: our conduit is segment-fast, so
+    escalation copies into the segment and hands back the live view.)"""
+    def body():
+        me = repro.myrank()
+        local = np.arange(12, dtype=np.float64).reshape(3, 4) * (me + 1)
+        ptr, view = repro.escalate(local)
+        assert ptr.where() == me
+        assert np.array_equal(view, local)
+        view[1, 1] = -5.0  # owner writes through the live view
+        d = repro.Directory()
+        d.publish_and_sync(ptr)
+        other = (me + 1) % repro.ranks()
+        remote = d.lookup(other)
+        got = remote.get(12).reshape(3, 4)
+        assert got[1, 1] == -5.0              # remote sees the update
+        assert got[0, 1] == 1.0 * (other + 1)
+        repro.barrier()
+        repro.deallocate(ptr)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_escalate_rejects_object_arrays():
+    def body():
+        with pytest.raises(repro.BadPointer):
+            repro.escalate(np.array([object()], dtype=object))
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=1))

@@ -1,0 +1,56 @@
+"""Top-level API surface (Table I names)."""
+
+import repro
+from tests.conftest import run_spmd
+
+
+def test_myrank_and_ranks(nranks):
+    res = run_spmd(lambda: (repro.myrank(), repro.ranks()), ranks=nranks)
+    assert res == [(r, nranks) for r in range(nranks)]
+
+
+def test_upc_style_aliases():
+    res = run_spmd(lambda: (repro.MYTHREAD(), repro.THREADS()), ranks=3)
+    assert res == [(r, 3) for r in range(3)]
+
+
+def test_advance_returns_progress_flag():
+    def body():
+        me = repro.myrank()
+        # nothing pending: no progress
+        assert repro.advance() is False
+        if me == 0:
+            f = repro.async_(0)(lambda: 42)  # self-async sits in the queue
+            assert repro.advance() is True
+            assert f.get() == 42
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_fence_completes_outstanding_copies():
+    import numpy as np
+
+    def body():
+        me = repro.myrank()
+        sa = repro.SharedArray(np.int64, size=16, block=4)
+        repro.barrier()
+        if me == 0:
+            src = repro.allocate(0, 4, np.int64)
+            src.put(np.arange(4))
+            h = repro.async_copy(src, sa.gptr(4), 4)
+            repro.fence()
+            assert h.done()
+        repro.barrier()
+        return int(sa[5])
+
+    assert run_spmd(body, ranks=4) == [1, 1, 1, 1]
+
+
+def test_current_world_exposes_ranks():
+    def body():
+        w = repro.current_world()
+        return (w.n_ranks, len(w.ranks))
+
+    assert run_spmd(body, ranks=3) == [(3, 3)] * 3

@@ -1,0 +1,286 @@
+"""Collective operations: correctness, by-value semantics, mismatch
+detection, and team-scoped variants."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import collectives as coll
+from repro.errors import PgasError
+from tests.conftest import run_spmd
+
+
+def test_barrier_orders_all_ranks():
+    """No rank exits the barrier before every rank has entered it."""
+    import threading
+    entered = []
+    lock = threading.Lock()
+
+    def body():
+        with lock:
+            entered.append(repro.myrank())
+        repro.barrier()
+        with lock:
+            count = len(entered)
+        assert count == repro.ranks()
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_bcast_scalar_and_array(nranks):
+    def body():
+        me = repro.myrank()
+        v = coll.bcast(123 if me == 0 else None, root=0)
+        arr = coll.bcast(
+            np.arange(5) if me == nranks - 1 else None, root=nranks - 1
+        )
+        return (v, arr.sum())
+
+    assert run_spmd(body, ranks=nranks) == [(123, 10)] * nranks
+
+
+def test_bcast_is_by_value():
+    """Mutating the received buffer must not affect other ranks."""
+    def body():
+        me = repro.myrank()
+        arr = coll.bcast(np.zeros(4) if me == 0 else None, root=0)
+        arr += me  # private copy
+        repro.barrier()
+        arr2 = coll.allgather(arr.sum())
+        return tuple(arr2)
+
+    res = run_spmd(body, ranks=3)
+    assert res[0] == (0.0, 4.0, 8.0)
+
+
+def test_reduce_to_root_only():
+    def body():
+        me = repro.myrank()
+        total = coll.reduce(me + 1, op="sum", root=1)
+        return total
+
+    res = run_spmd(body, ranks=4)
+    assert res[1] == 10
+    assert res[0] is None and res[2] is None and res[3] is None
+
+
+@pytest.mark.parametrize("op,expected", [
+    ("sum", 6), ("prod", 0), ("min", 0), ("max", 3),
+    ("xor", 0 ^ 1 ^ 2 ^ 3), ("or", 3), ("and", 0),
+])
+def test_allreduce_named_ops(op, expected):
+    res = run_spmd(lambda: coll.allreduce(repro.myrank(), op=op), ranks=4)
+    assert res == [expected] * 4
+
+
+def test_allreduce_matches_local_reduce_on_arrays():
+    """Property: allreduce(v) == functools.reduce(op, all v)."""
+    def body():
+        me = repro.myrank()
+        v = np.arange(4) * (me + 1)
+        got = coll.allreduce(v, op="sum")
+        contributions = coll.allgather(v)
+        expect = sum(contributions[1:], contributions[0])
+        return bool(np.array_equal(got, expect))
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_allreduce_custom_callable():
+    res = run_spmd(
+        lambda: coll.allreduce(repro.myrank() + 1, op=lambda a, b: a * b),
+        ranks=4,
+    )
+    assert res == [24] * 4
+
+
+def test_unknown_reduction_rejected():
+    def body():
+        with pytest.raises(PgasError):
+            coll.allreduce(1, op="frobnicate")
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_gather_and_allgather_rank_order():
+    def body():
+        me = repro.myrank()
+        g = coll.gather(f"r{me}", root=0)
+        ag = coll.allgather(me * 2)
+        return (g, ag)
+
+    res = run_spmd(body, ranks=3)
+    assert res[0][0] == ["r0", "r1", "r2"]
+    assert res[1][0] is None
+    assert all(r[1] == [0, 2, 4] for r in res)
+
+
+def test_gatherv_concatenates_variable_lengths():
+    def body():
+        me = repro.myrank()
+        part = np.full(me + 1, me, dtype=np.int64)
+        return coll.gatherv(part, root=0)
+
+    res = run_spmd(body, ranks=3)
+    assert np.array_equal(res[0], np.array([0, 1, 1, 2, 2, 2]))
+    assert res[1] is None
+
+
+def test_gatherv_rejects_2d():
+    def body():
+        with pytest.raises(PgasError):
+            coll.gatherv(np.zeros((2, 2)))
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_scatter():
+    def body():
+        me = repro.myrank()
+        values = [10, 20, 30, 40] if me == 0 else None
+        return coll.scatter(values, root=0)
+
+    assert run_spmd(body, ranks=4) == [10, 20, 30, 40]
+
+
+def test_scatter_validates_length():
+    def body():
+        me = repro.myrank()
+        coll.scatter([1] if me == 0 else None, root=0)  # needs 2 values
+
+    with pytest.raises(PgasError):
+        run_spmd(body, ranks=2, timeout=10)
+
+
+def test_alltoall_transpose_semantics():
+    def body():
+        me = repro.myrank()
+        n = repro.ranks()
+        outgoing = [f"{me}->{dst}" for dst in range(n)]
+        incoming = coll.alltoall(outgoing)
+        return incoming
+
+    res = run_spmd(body, ranks=3)
+    for dst in range(3):
+        assert res[dst] == [f"{src}->{dst}" for src in range(3)]
+
+
+def test_alltoallv_arrays():
+    def body():
+        me = repro.myrank()
+        n = repro.ranks()
+        outgoing = [np.full(src_len, me, dtype=np.int32)
+                    for src_len in range(1, n + 1)]
+        incoming = coll.alltoallv(outgoing)
+        return [a.tolist() for a in incoming]
+
+    res = run_spmd(body, ranks=3)
+    # rank 1 receives arrays of length 2 from every source
+    assert res[1] == [[0, 0], [1, 1], [2, 2]]
+
+
+def test_alltoall_wrong_length_rejected():
+    def body():
+        with pytest.raises(PgasError):
+            coll.alltoall([1, 2])  # needs exactly `ranks` entries
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_collective_mismatch_detected_not_deadlocked():
+    def body():
+        if repro.myrank() == 0:
+            coll.bcast(1, root=0)
+        else:
+            coll.allreduce(1)
+
+    with pytest.raises(PgasError):
+        run_spmd(body, ranks=2, timeout=10)
+
+
+def test_team_barrier_and_bcast():
+    def body():
+        me = repro.myrank()
+        evens = repro.Team([0, 2])
+        odds = repro.Team([1, 3])
+        team = evens if me % 2 == 0 else odds
+        v = team.bcast(me * 100, root=0)  # team-index 0 is the root
+        team.barrier()
+        return v
+
+    res = run_spmd(body, ranks=4)
+    assert res == [0, 100, 0, 100]
+
+
+def test_team_split():
+    def body():
+        me = repro.myrank()
+        world = repro.Team.world()
+        sub = world.split(color=me % 2, key=-me)
+        return tuple(sub.members)
+
+    res = run_spmd(body, ranks=4)
+    assert res[0] == (2, 0)  # key=-rank reverses the order
+    assert res[1] == (3, 1)
+    assert res[2] == (2, 0)
+
+
+def test_scan_inclusive():
+    def body():
+        me = repro.myrank()
+        return coll.scan(me + 1)
+
+    # values 1,2,3,4 -> prefix sums 1,3,6,10
+    assert run_spmd(body, ranks=4) == [1, 3, 6, 10]
+
+
+def test_exscan_exclusive():
+    def body():
+        me = repro.myrank()
+        return coll.exscan(me + 1)
+
+    assert run_spmd(body, ranks=4) == [0, 1, 3, 6]
+
+
+def test_exscan_custom_initial_and_op():
+    def body():
+        me = repro.myrank()
+        return coll.exscan(me + 2, op="prod", initial=1)
+
+    # values 2,3,4 -> exclusive products 1, 2, 6
+    assert run_spmd(body, ranks=3) == [1, 2, 6]
+
+
+def test_scan_arrays():
+    def body():
+        me = repro.myrank()
+        v = np.full(3, me + 1)
+        out = coll.scan(v)
+        expect = np.full(3, sum(range(1, me + 2)))
+        return bool(np.array_equal(out, expect))
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_scan_offsets_idiom():
+    """The partitioning idiom: exscan of local counts = landing offset."""
+    def body():
+        me = repro.myrank()
+        count = (me + 1) * 5
+        offset = coll.exscan(count)
+        total = coll.allreduce(count)
+        offsets = coll.allgather(offset)
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0
+        assert offsets[-1] + (repro.ranks()) * 5 == total
+        return True
+
+    assert all(run_spmd(body, ranks=4))

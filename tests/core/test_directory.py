@@ -1,0 +1,110 @@
+"""Per-rank object directories (the shared_array<ndarray> idiom)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import PgasError
+from tests.conftest import run_spmd
+
+
+def test_publish_lookup_roundtrip():
+    def body():
+        me = repro.myrank()
+        d = repro.Directory()
+        d.publish_and_sync({"rank": me, "data": list(range(me))})
+        other = (me + 1) % repro.ranks()
+        got = d.lookup(other)
+        assert got == {"rank": other, "data": list(range(other))}
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_lookup_unpublished_raises():
+    def body():
+        me = repro.myrank()
+        d = repro.Directory()
+        if me == 0:
+            d.publish(1)
+        repro.barrier()
+        if me == 0:
+            with pytest.raises(PgasError):
+                d.lookup(1)  # rank 1 never published
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_lookup_is_by_value():
+    def body():
+        me = repro.myrank()
+        d = repro.Directory()
+        d.publish_and_sync([me])
+        got = d.lookup((me + 1) % repro.ranks(), cached=False)
+        got.append("mutated")
+        repro.barrier()
+        again = d.lookup((me + 1) % repro.ranks(), cached=False)
+        assert again == [(me + 1) % repro.ranks()]
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_cache_behaviour():
+    def body():
+        me = repro.myrank()
+        d = repro.Directory()
+        d.publish_and_sync(me)
+        peer = (me + 1) % repro.ranks()
+        first = d.lookup(peer)            # populates cache
+        repro.barrier()
+        d.publish(me + 100)               # overwrite our slot
+        repro.barrier()
+        cached = d.lookup(peer)           # stale by design
+        fresh = d.lookup(peer, cached=False)
+        assert cached == first == peer
+        assert fresh == peer + 100
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_directories_are_distinct():
+    def body():
+        me = repro.myrank()
+        d1 = repro.Directory()
+        d2 = repro.Directory()
+        d1.publish(("d1", me))
+        d2.publish(("d2", me))
+        repro.barrier()
+        other = (me + 1) % repro.ranks()
+        assert d1.lookup(other) == ("d1", other)
+        assert d2.lookup(other) == ("d2", other)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_paper_idiom_directory_of_ndarrays():
+    """shared_array< ndarray<int,3> > dir(THREADS) — §III-E."""
+    from repro.arrays import RectDomain, ndarray
+
+    def body():
+        me = repro.myrank()
+        d = repro.Directory()
+        local = ndarray(np.int64, RectDomain((0, 0, 0), (2, 2, 2)))
+        local.set(me)
+        d.publish_and_sync(local)
+        other = (me + 1) % repro.ranks()
+        remote = d.lookup(other)
+        assert remote[(1, 1, 1)] == other  # one-sided read through handle
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=3))

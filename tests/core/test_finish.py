@@ -1,0 +1,118 @@
+"""The finish construct (paper §III-G RAII block)."""
+
+import time
+
+import pytest
+
+import repro
+from tests.conftest import run_spmd
+
+
+def test_paper_example_two_tasks_complete_inside_finish():
+    def body():
+        me = repro.myrank()
+        done = []
+        if me == 0:
+            with repro.finish():
+                repro.async_(1)(time.sleep, 0.01)
+                repro.async_(2)(time.sleep, 0.01)
+                f1 = repro.async_(1)(lambda: done_marker(1))
+                f2 = repro.async_(2)(lambda: done_marker(2))
+            # RAII exit: both tasks must have completed.
+            assert f1.done() and f2.done()
+        repro.barrier()
+        return True
+
+    def done_marker(x):
+        return x
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_finish_counts_only_dynamic_scope():
+    """Asyncs issued outside the block are not waited on."""
+    def body():
+        if repro.myrank() == 0:
+            before = repro.async_(1)(lambda: time.sleep(0.05) or "slow")
+            t0 = time.perf_counter()
+            with repro.finish():
+                pass  # nothing registered inside
+            assert time.perf_counter() - t0 < 0.05
+            assert before.get() == "slow"
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_nested_finish_scopes():
+    def body():
+        if repro.myrank() == 0:
+            order = []
+            with repro.finish():
+                repro.async_(1)(int, 0).add_callback(
+                    lambda f: order.append("outer")
+                )
+                with repro.finish():
+                    repro.async_(2)(int, 1).add_callback(
+                        lambda f: order.append("inner")
+                    )
+                assert "inner" in order  # inner scope drained first
+            assert "outer" in order
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_finish_surfaces_remote_task_errors():
+    def body():
+        if repro.myrank() == 0:
+            with pytest.raises(ZeroDivisionError):
+                with repro.finish():
+                    repro.async_(1)(lambda: 1 / 0)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_finish_with_team_async():
+    def body():
+        if repro.myrank() == 0:
+            with repro.finish():
+                mf = repro.async_(repro.Team([1, 2]))(lambda: repro.myrank())
+            assert mf.get() == [1, 2]
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_finish_propagates_user_exception_without_hanging():
+    def body():
+        if repro.myrank() == 0:
+            with pytest.raises(KeyError):
+                with repro.finish():
+                    repro.async_(1)(int, 0)
+                    raise KeyError("user bug inside finish")
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_many_tasks_in_one_finish():
+    def body():
+        me = repro.myrank()
+        n = repro.ranks()
+        if me == 0:
+            futures = []
+            with repro.finish():
+                for i in range(40):
+                    futures.append(repro.async_(i % n)(lambda x: x + 1, i))
+            assert [f.get() for f in futures] == list(range(1, 41))
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))

@@ -1,0 +1,148 @@
+"""Future/MultiFuture mechanics and Team structure."""
+
+import pytest
+
+import repro
+from repro.core.future import Future, MultiFuture
+from repro.errors import PgasError
+from tests.conftest import run_spmd
+
+
+def test_future_double_completion_rejected():
+    def body():
+        if repro.myrank() == 0:
+            ctx = repro.current_world().ranks[0]
+            f = Future(ctx)
+            f.set_result(1)
+            with pytest.raises(PgasError):
+                f.set_result(2)
+            with pytest.raises(PgasError):
+                f.set_exception(ValueError())
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=1))
+
+
+def test_future_callback_after_completion_runs_immediately():
+    def body():
+        if repro.myrank() == 0:
+            ctx = repro.current_world().ranks[0]
+            f = Future(ctx)
+            f.set_result(7)
+            seen = []
+            f.add_callback(lambda fut: seen.append("late"))
+            assert seen == ["late"]
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=1))
+
+
+def test_future_exception_path():
+    def body():
+        if repro.myrank() == 0:
+            ctx = repro.current_world().ranks[0]
+            f = Future(ctx)
+            f.set_exception(KeyError("nope"))
+            assert f.done()
+            with pytest.raises(KeyError):
+                f.get()
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=1))
+
+
+def test_multifuture_aggregation():
+    def body():
+        if repro.myrank() == 0:
+            ctx = repro.current_world().ranks[0]
+            fs = [Future(ctx) for _ in range(3)]
+            mf = MultiFuture(fs)
+            assert not mf.done() and len(mf) == 3
+            for i, f in enumerate(fs):
+                f.set_result(i * 2)
+            assert mf.done()
+            assert mf.get() == [0, 2, 4]
+            assert list(iter(mf)) == fs
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=1))
+
+
+# -- teams ------------------------------------------------------------------
+
+def test_team_structure_queries():
+    def body():
+        t = repro.Team([3, 1, 2])
+        assert len(t) == 3
+        assert 1 in t and 0 not in t
+        assert list(t) == [3, 1, 2]
+        assert t.index_of(1) == 1
+        assert t == repro.Team((3, 1, 2))
+        assert t != repro.Team((1, 2, 3))
+        assert hash(t) == hash(repro.Team([3, 1, 2]))
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_team_validation():
+    def body():
+        with pytest.raises(PgasError):
+            repro.Team([])
+        with pytest.raises(PgasError):
+            repro.Team([1, 1])
+        t = repro.Team([0])
+        with pytest.raises(PgasError):
+            t.index_of(3)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_team_world_helper():
+    def body():
+        w = repro.Team.world()
+        assert list(w) == list(range(repro.ranks()))
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_split_nonmember_rejected():
+    def body():
+        me = repro.myrank()
+        sub = repro.Team([0])
+        if me != 0:
+            with pytest.raises(PgasError):
+                sub.split(0, 0)
+        else:
+            # a 1-member team splits into itself
+            s = sub.split(0, 0)
+            assert list(s) == [0]
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_rendezvous_slots_do_not_leak():
+    """Collective bookkeeping is reclaimed once consumed."""
+    def body():
+        for _ in range(25):
+            repro.barrier()
+            repro.collectives.allreduce(1)
+        repro.barrier()
+        world = repro.current_world()
+        # allow the in-flight finalize slot; nothing else may linger
+        return len(world._rendezvous)
+
+    leftovers = run_spmd(body, ranks=4)
+    # O(1) in-flight slots (the last collectives some peers have not yet
+    # consumed when this rank samples), never O(iterations).
+    assert all(n <= 2 for n in leftovers)

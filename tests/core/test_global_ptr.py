@@ -1,0 +1,215 @@
+"""Global pointer semantics (paper §III-B), incl. the no-phase rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.core.global_ptr import GlobalPtr, null_ptr
+from repro.errors import BadPointer
+from tests.conftest import run_spmd
+
+
+# -- pure pointer arithmetic (no world required) ---------------------------
+
+def test_arithmetic_steps_by_element_size():
+    p = GlobalPtr(rank=1, offset=64, dtype=np.float64)
+    q = p + 3
+    assert q.offset == 64 + 24 and q.rank == 1
+    assert (q - 3).offset == 64
+    assert q - p == 3
+
+
+def test_no_phase_pointer_stays_on_owner():
+    """UPC++ dropped UPC's pointer phase: p+1 never changes rank."""
+    p = GlobalPtr(rank=2, offset=0, dtype=np.int64)
+    for i in range(100):
+        assert (p + i).rank == 2
+
+
+def test_radd():
+    p = GlobalPtr(rank=0, offset=0, dtype=np.int32)
+    assert (5 + p).offset == 20
+
+
+def test_difference_requires_same_rank_and_dtype():
+    a = GlobalPtr(rank=0, offset=8, dtype=np.int64)
+    b = GlobalPtr(rank=1, offset=0, dtype=np.int64)
+    with pytest.raises(BadPointer):
+        _ = a - b
+    c = GlobalPtr(rank=0, offset=0, dtype=np.int32)
+    with pytest.raises(BadPointer):
+        _ = a - c
+
+
+def test_difference_requires_element_alignment():
+    a = GlobalPtr(rank=0, offset=4, dtype=np.int64)
+    b = GlobalPtr(rank=0, offset=0, dtype=np.int64)
+    with pytest.raises(BadPointer):
+        _ = a - b
+
+
+def test_ordering():
+    a = GlobalPtr(rank=0, offset=8, dtype=np.uint8)
+    b = GlobalPtr(rank=1, offset=0, dtype=np.uint8)
+    assert a < b and a <= b and not b < a
+
+
+def test_null_pointer():
+    p = null_ptr(np.int64)
+    assert p.is_null and not bool(p)
+    with pytest.raises(BadPointer):
+        _ = p + 1
+    with pytest.raises(BadPointer):
+        p.get()
+
+
+def test_cast_roundtrip_preserves_address():
+    p = GlobalPtr(rank=3, offset=40, dtype=np.float64)
+    v = p.cast(np.uint8)        # global_ptr<void> equivalent
+    assert v.offset == 40 and v.itemsize == 1
+    back = v.cast(np.float64)
+    assert back == p
+
+
+def test_where():
+    assert GlobalPtr(rank=5, offset=0, dtype=np.int8).where() == 5
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    off=st.integers(0, 1 << 20),
+    steps=st.lists(st.integers(-50, 50), min_size=1, max_size=20),
+)
+def test_arithmetic_is_additive(off, steps):
+    """Property: walking step-by-step equals one jump by the sum."""
+    p = GlobalPtr(rank=0, offset=off, dtype=np.int64)
+    q = p
+    for s in steps:
+        q = q + s
+    assert q == p + sum(steps)
+    assert q - p == sum(steps)
+
+
+def test_pointers_are_picklable():
+    import pickle
+
+    p = GlobalPtr(rank=2, offset=16, dtype=np.float32)
+    q = pickle.loads(pickle.dumps(p))
+    assert q == p and q.dtype == np.dtype(np.float32)
+
+
+# -- in-world behaviour ------------------------------------------------------
+
+def test_get_put_scalar_and_bulk():
+    def body():
+        me = repro.myrank()
+        p = repro.allocate(me, 8, np.int64)
+        p.put(np.arange(8) * (me + 1))
+        assert p[3] == 3 * (me + 1)
+        p[3] = -1
+        assert np.array_equal(
+            p.get(8)[:5], np.array([0, me + 1, 2 * (me + 1), -1,
+                                    4 * (me + 1)])
+        )
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_local_cast_only_on_owner():
+    def body():
+        me = repro.myrank()
+        ptr = None
+        if me == 0:
+            ptr = repro.allocate(0, 4, np.int64)
+            view = ptr.local(4)
+            view[:] = 7
+        ptr = repro.collectives.bcast(ptr, root=0)
+        if me == 1:
+            with pytest.raises(BadPointer):
+                ptr.local(4)  # remote memory has no local address
+            assert ptr[0] == 7  # but one-sided access works
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_atomic_ops_on_pointer():
+    def body():
+        me = repro.myrank()
+        ptr = None
+        if me == 0:
+            ptr = repro.allocate(0, 1, np.int64)
+            ptr.put(10)
+        ptr = repro.collectives.bcast(ptr, root=0)
+        repro.barrier()
+        old = ptr.atomic("add", 1)  # every rank increments once
+        assert old >= 10
+        repro.barrier()
+        assert ptr[0] == 10 + repro.ranks()
+        with pytest.raises(BadPointer):
+            ptr.atomic("nonsense", 1)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_atomic_min_max():
+    def body():
+        me = repro.myrank()
+        ptr = None
+        if me == 0:
+            ptr = repro.allocate(0, 2, np.int64)
+            ptr.put(np.array([100, -100]))
+        ptr = repro.collectives.bcast(ptr, root=0)
+        repro.barrier()
+        ptr.atomic("min", me * 10)          # min over {0,10,20,...,100}
+        (ptr + 1).atomic("max", me * 10)    # max over {-100,0,...,30}
+        repro.barrier()
+        assert ptr[0] == 0
+        assert ptr[1] == (repro.ranks() - 1) * 10
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_compare_swap_single_winner():
+    """Exactly one rank wins a CAS race from the initial value."""
+    def body():
+        me = repro.myrank()
+        cell = None
+        if me == 0:
+            cell = repro.allocate(0, 1, np.int64)
+            cell.put(-1)
+        cell = repro.collectives.bcast(cell, root=0)
+        repro.barrier()
+        won = cell.compare_swap(-1, me)
+        winners = repro.collectives.allreduce(int(won))
+        assert winners == 1
+        final = int(cell[0])
+        assert 0 <= final < repro.ranks()
+        repro.barrier()
+        return won
+
+    results = run_spmd(body, ranks=4)
+    assert sum(results) == 1
+
+
+def test_compare_swap_fails_on_mismatch():
+    def body():
+        if repro.myrank() == 0:
+            cell = repro.allocate(0, 1, np.int64)
+            cell.put(5)
+            assert not cell.compare_swap(7, 9)
+            assert cell[0] == 5
+            assert cell.compare_swap(5, 9)
+            assert cell[0] == 9
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))

@@ -1,0 +1,125 @@
+"""Memory consistency model (paper §III-F) litmus tests.
+
+The model is relaxed: only operations *from the same thread to the same
+location* are ordered; everything else requires explicit
+synchronization.  These tests pin the guarantees the model does make —
+and the synchronization recipes that restore order.
+"""
+
+import numpy as np
+
+import repro
+from tests.conftest import run_spmd
+
+
+def test_same_thread_same_location_program_order():
+    """x = 1; x = 2; read x  ->  must see 2 (even remotely)."""
+    def body():
+        me = repro.myrank()
+        sa = repro.SharedArray(np.int64, size=2, block=1)
+        repro.barrier()
+        if me == 1:
+            sa[0] = 1   # element 0 lives on rank 0: remote puts
+            sa[0] = 2
+            assert sa[0] == 2
+        repro.barrier()
+        assert sa[0] == 2
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_read_your_writes_through_different_apis():
+    """A write through a global pointer is visible to a subsequent read
+    through the shared array (same thread, same location)."""
+    def body():
+        me = repro.myrank()
+        sa = repro.SharedArray(np.int64, size=4, block=1)
+        repro.barrier()
+        if me == 1:
+            sa.gptr(0).put(7)
+            assert sa[0] == 7
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_barrier_publishes_writes():
+    """The classic producer/consumer: writes before a barrier are
+    visible to every rank after it."""
+    def body():
+        me = repro.myrank()
+        data = repro.SharedArray(np.int64, size=8, block=8)  # on rank 0
+        repro.barrier()
+        if me == 0:
+            for i in range(8):
+                data[i] = i * i
+        repro.barrier()  # the synchronization edge
+        assert [int(data[i]) for i in range(8)] == [i * i for i in range(8)]
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_fence_orders_nonblocking_copies_before_flag():
+    """message-passing litmus: payload via async_copy, flag after
+    fence — the consumer polling the flag must see the payload."""
+    def body():
+        me = repro.myrank()
+        payload = repro.SharedArray(np.int64, size=64, block=64)  # rank 0
+        flag = repro.SharedVar(np.int64, init=0)
+        repro.barrier()
+        if me == 1:
+            src = repro.allocate(1, 64, np.int64)
+            src.put(np.arange(64))
+            repro.async_copy(src, payload.gptr(0), 64)
+            repro.fence()          # completes the copy ...
+            flag.value = 1         # ... before the flag is raised
+        if me == 2:
+            ctx = repro.current_world().ranks[me]
+            ctx.wait_until(lambda: flag.value == 1, what="flag")
+            assert [int(payload[i]) for i in range(0, 64, 7)] == \
+                [i for i in range(0, 64, 7)]
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_event_signal_publishes_task_effects():
+    """Effects of an async task are visible once its event has fired."""
+    def body():
+        me = repro.myrank()
+        cell = repro.SharedArray(np.int64, size=1, block=1)
+        repro.barrier()
+        if me == 0:
+            e = repro.Event()
+
+            def produce():
+                cell[0] = 99
+                return None
+
+            repro.async_(cell.where(0), signal=e)(produce)
+            e.wait()
+            assert cell[0] == 99
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_atomics_are_globally_serialized():
+    """Concurrent atomic adds never lose updates (the counter litmus)."""
+    def body():
+        c = repro.SharedVar(np.int64, init=0)
+        repro.barrier()
+        for _ in range(200):
+            c.atomic("add", 1)
+        repro.barrier()
+        return int(c.value)
+
+    res = run_spmd(body, ranks=4)
+    assert res == [800] * 4

@@ -1,0 +1,158 @@
+"""Runtime edge cases: options, partial progress, bigger worlds, and a
+mixed-operation stress test."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import PgasError
+from tests.conftest import run_spmd
+
+
+def test_custom_segment_size():
+    def body():
+        seg = repro.current_world().ranks[repro.myrank()].segment
+        assert seg.size == 1 << 20
+        # allocations beyond the small segment fail cleanly
+        with pytest.raises(repro.SegmentOutOfMemory):
+            repro.allocate(repro.myrank(), 2 << 20, np.uint8)
+        repro.barrier()
+        return True
+
+    assert all(repro.spmd(body, ranks=2, segment_size=1 << 20, timeout=30))
+
+
+def test_advance_max_items_limits_batch():
+    def body():
+        me = repro.myrank()
+        if me == 0:
+            seen = []
+            for i in range(5):
+                repro.async_(0)(lambda i=i: seen.append(i))
+            # each advance(max_items=...) batch is bounded: 5 AMs are in
+            # the inbox; max_items=2 handles two AMs (enqueuing tasks)
+            repro.advance(max_items=2)
+            assert len(seen) <= 2
+            repro.async_wait()
+            assert sorted(seen) == [0, 1, 2, 3, 4]
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_sixteen_rank_world():
+    def body():
+        me, n = repro.myrank(), repro.ranks()
+        sa = repro.SharedArray(np.int64, size=n, block=1)
+        repro.barrier()
+        sa[(me + 1) % n] = me
+        repro.barrier()
+        assert sa[me] == (me - 1) % n
+        total = repro.collectives.allreduce(me)
+        assert total == n * (n - 1) // 2
+        return True
+
+    assert all(run_spmd(body, ranks=16, timeout=60))
+
+
+def test_no_timeout_mode_still_completes():
+    res = repro.spmd(
+        lambda: repro.collectives.allreduce(1), ranks=2, timeout=None
+    )
+    assert res == [2, 2]
+
+
+def test_return_values_can_be_arbitrary_objects():
+    def body():
+        return {"rank": repro.myrank(), "arr": np.arange(3)}
+
+    res = run_spmd(body, ranks=2)
+    assert res[1]["rank"] == 1
+    assert np.array_equal(res[0]["arr"], np.arange(3))
+
+
+def test_exceptions_in_multiple_ranks_report_one():
+    def body():
+        raise RuntimeError(f"rank {repro.myrank()} died")
+
+    with pytest.raises(RuntimeError, match="rank \\d died"):
+        run_spmd(body, ranks=3)
+
+
+def test_mixed_operation_stress():
+    """A randomized workload mixing every major API for many rounds —
+    the chaos test that shakes out ordering bugs."""
+    def body():
+        me, n = repro.myrank(), repro.ranks()
+        rng = np.random.default_rng(1000 + me)
+        sa = repro.SharedArray(np.int64, size=32, block=4)
+        counter = repro.SharedVar(np.int64, init=0)
+        lock = repro.GlobalLock()
+        repro.barrier()
+        my_asyncs = 0
+        for round_ in range(15):
+            op = rng.integers(0, 5)
+            if op == 0:
+                sa[int(rng.integers(0, 32))] = me * 100 + round_
+            elif op == 1:
+                _ = sa[int(rng.integers(0, 32))]
+            elif op == 2:
+                counter.atomic("add", 1)
+            elif op == 3:
+                with lock:
+                    counter.atomic("add", 1)
+            else:
+                with repro.finish():
+                    repro.async_(int(rng.integers(0, n)))(int, round_)
+                my_asyncs += 1
+            if round_ % 5 == 4:
+                repro.barrier()
+        repro.barrier()
+        return int(counter.value)
+
+    res = run_spmd(body, ranks=4, timeout=60)
+    assert len(set(res)) == 1  # all ranks agree on the final counter
+
+
+def test_distributed_transpose_via_alltoallv():
+    """Block matrix transpose: the alltoall workhorse done distributed,
+    checked against numpy."""
+    def body():
+        me, n = repro.myrank(), repro.ranks()
+        rows_per = 2
+        cols = rows_per * n
+        rng = np.random.default_rng(7)           # same matrix everywhere
+        M = rng.integers(0, 100, size=(rows_per * n, cols))
+        my_rows = M[me * rows_per:(me + 1) * rows_per, :]
+        # send to rank j the block of my rows in its column range
+        outgoing = [
+            np.ascontiguousarray(
+                my_rows[:, j * rows_per:(j + 1) * rows_per]
+            )
+            for j in range(n)
+        ]
+        incoming = repro.collectives.alltoallv(outgoing)
+        # my transposed rows: stack received blocks along columns, then T
+        mine_T = np.concatenate(incoming, axis=0).reshape(
+            n, rows_per, rows_per
+        )
+        built = np.concatenate([blk.T for blk in mine_T], axis=1)
+        expect = M.T[me * rows_per:(me + 1) * rows_per, :]
+        assert np.array_equal(built, expect)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_collective_after_failure_does_not_hang():
+    def body():
+        me = repro.myrank()
+        repro.barrier()
+        if me == 0:
+            raise ValueError("dies before second barrier")
+        repro.barrier()
+
+    with pytest.raises(ValueError):
+        run_spmd(body, ranks=3, timeout=15)

@@ -1,0 +1,82 @@
+"""shared_var<T> semantics (paper §III-A)."""
+
+import numpy as np
+import pytest
+
+import repro
+from tests.conftest import run_spmd
+
+
+def test_paper_example_read_write():
+    """s = 1; int a = s;  — lvalue and rvalue uses."""
+    def body():
+        me = repro.myrank()
+        s = repro.SharedVar(np.int64)
+        if me == 0:
+            s.value = 1
+        repro.barrier()
+        a = s.value
+        assert a == 1
+        repro.barrier()
+        return int(a)
+
+    assert run_spmd(body, ranks=4) == [1] * 4
+
+
+def test_stored_on_owner_thread():
+    def body():
+        s = repro.SharedVar(np.int64, init=5, owner=1)
+        assert s.where() == 1
+        assert s.ptr.rank == 1
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_any_rank_can_write():
+    def body():
+        me = repro.myrank()
+        s = repro.SharedVar(np.float64, init=0.0)
+        repro.barrier()
+        if me == repro.ranks() - 1:
+            s.put(2.5)
+        repro.barrier()
+        return float(s.get())
+
+    assert run_spmd(body, ranks=3) == [2.5] * 3
+
+
+def test_multiple_vars_are_distinct():
+    def body():
+        a = repro.SharedVar(np.int64, init=1)
+        b = repro.SharedVar(np.int64, init=2)
+        assert a.ptr != b.ptr
+        repro.barrier()
+        return (int(a.value), int(b.value))
+
+    assert run_spmd(body, ranks=2) == [(1, 2)] * 2
+
+
+def test_atomic_counter_on_shared_var():
+    def body():
+        c = repro.SharedVar(np.int64, init=0)
+        repro.barrier()
+        for _ in range(25):
+            c.atomic("add", 1)
+        repro.barrier()
+        return int(c.value)
+
+    res = run_spmd(body, ranks=4)
+    assert res == [100] * 4
+
+
+def test_dtype_preserved():
+    def body():
+        s = repro.SharedVar(np.float32, init=1.5)
+        repro.barrier()
+        v = s.value
+        assert v.dtype == np.float32
+        return float(v)
+
+    assert run_spmd(body, ranks=2) == [1.5, 1.5]

@@ -1,0 +1,189 @@
+"""Distributed work-stealing queue (the §V-D future-work extension)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import PgasError
+from tests.conftest import run_spmd
+
+
+def test_items_processed_exactly_once_balanced():
+    def body():
+        me, n = repro.myrank(), repro.ranks()
+        wq = repro.DistWorkQueue()
+        wq.add_local(range(me * 10, me * 10 + 10))
+        repro.barrier()
+        got = []
+        while (item := wq.get()) is not None:
+            got.append(item)
+            wq.task_done()
+        all_got = repro.collectives.allgather(got)
+        flat = sorted(x for sub in all_got for x in sub)
+        assert flat == sorted(
+            i for r in range(n) for i in range(r * 10, r * 10 + 10)
+        ), "items lost or duplicated"
+        return len(got)
+
+    counts = run_spmd(body, ranks=4)
+    assert sum(counts) == 40
+
+
+def test_stealing_redistributes_skewed_load():
+    """All items seeded on rank 0: other ranks must steal to finish.
+
+    Items carry real work (1 ms) — with zero-cost items the owner can
+    legitimately drain its queue before any thief's round trip lands.
+    """
+    import time
+
+    def body():
+        me, n = repro.myrank(), repro.ranks()
+        wq = repro.DistWorkQueue()
+        if me == 0:
+            wq.add_local(range(60))
+        repro.barrier()
+        done = 0
+        while wq.get() is not None:
+            time.sleep(0.001)
+            wq.task_done()
+            done += 1
+        total = repro.collectives.allreduce(done)
+        assert total == 60
+        steals = repro.collectives.allreduce(wq.steals_successful)
+        assert steals > 0, "no stealing happened under full skew"
+        # and the owner did not process everything alone
+        assert repro.collectives.allreduce(done, op="max") < 60
+        return done
+
+    counts = run_spmd(body, ranks=4)
+    assert sum(counts) == 60
+
+
+def test_termination_on_empty_pool():
+    def body():
+        wq = repro.DistWorkQueue()
+        repro.barrier()
+        assert wq.get() is None
+        assert wq.outstanding() == 0
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_termination_waits_for_completion_not_claim():
+    """outstanding() counts completions: a claimed-but-unfinished item
+    keeps the pool alive."""
+    def body():
+        me = repro.myrank()
+        wq = repro.DistWorkQueue()
+        if me == 0:
+            wq.add_local([1])
+        repro.barrier()
+        if me == 0:
+            item = wq.get()
+            assert item == 1
+            assert wq.outstanding() == 1   # claimed, not done
+            wq.task_done()
+            assert wq.outstanding() == 0
+        repro.barrier()
+        assert wq.get() is None
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_steal_half_policy():
+    def body():
+        me = repro.myrank()
+        wq = repro.DistWorkQueue()
+        if me == 0:
+            wq.add_local(range(20))
+        repro.barrier()
+        if me == 1:
+            assert wq._steal_once() or wq._steal_once()
+            # steal-half: about half the victim's queue arrived
+            assert 5 <= wq.local_size() <= 15
+        repro.barrier()
+        # drain so the finalize barrier isn't fighting the counter
+        while wq.get() is not None:
+            wq.task_done()
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_single_rank_queue():
+    def body():
+        wq = repro.DistWorkQueue()
+        wq.add_local("abc")
+        out = []
+        while (x := wq.get()) is not None:
+            out.append(x)
+            wq.task_done()
+        assert out == ["a", "b", "c"]
+        return True
+
+    assert all(run_spmd(body, ranks=1))
+
+
+def test_task_done_validation():
+    def body():
+        wq = repro.DistWorkQueue()
+        with pytest.raises(PgasError):
+            wq.task_done(0)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_generates_more_work_mid_flight():
+    """Workers may add new items while consuming (nested parallelism)."""
+    def body():
+        me = repro.myrank()
+        wq = repro.DistWorkQueue()
+        if me == 0:
+            wq.add_local([("split", 16)])
+        repro.barrier()
+        leaves = 0
+        while (item := wq.get()) is not None:
+            kind, size = item
+            if kind == "split" and size > 1:
+                wq.add_local([("split", size // 2), ("split", size // 2)])
+            else:
+                leaves += 1
+            wq.task_done()
+        total_leaves = repro.collectives.allreduce(leaves)
+        assert total_leaves == 16
+        return True
+
+    assert all(run_spmd(body, ranks=4, timeout=60))
+
+
+def test_queues_are_independent():
+    def body():
+        me = repro.myrank()
+        a = repro.DistWorkQueue()
+        b = repro.DistWorkQueue()
+        a.add_local([1])
+        b.add_local([2])
+        repro.barrier()
+        xa = a.get()
+        xb = b.get()
+        assert {xa, xb} <= {1, 2, None}
+        if xa is not None:
+            a.task_done()
+        if xb is not None:
+            b.task_done()
+        while a.get() is not None:
+            a.task_done()
+        while b.get() is not None:
+            b.task_done()
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))

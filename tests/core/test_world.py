@@ -1,0 +1,149 @@
+"""SPMD world lifecycle: launch, results, failure propagation."""
+
+import threading
+
+import pytest
+
+import repro
+from repro.errors import CommTimeout, NotInSpmdRegion, PeerFailure, PgasError
+from tests.conftest import run_spmd
+
+
+def test_spmd_returns_per_rank_results(nranks):
+    res = run_spmd(lambda: repro.myrank() * 10, ranks=nranks)
+    assert res == [r * 10 for r in range(nranks)]
+
+
+def test_spmd_passes_args_and_kwargs():
+    res = run_spmd(
+        lambda a, b=0: (repro.myrank(), a, b), ranks=2,
+        args=(1,), kwargs={"b": 2},
+    )
+    assert res == [(0, 1, 2), (1, 1, 2)]
+
+
+def test_ranks_run_on_distinct_threads():
+    def body():
+        repro.barrier()  # all ranks alive at once -> idents can't recycle
+        ident = threading.get_ident()
+        repro.barrier()
+        return ident
+
+    res = run_spmd(body, ranks=4)
+    assert len(set(res)) == 4
+
+
+def test_api_outside_spmd_raises():
+    with pytest.raises(NotInSpmdRegion):
+        repro.myrank()
+    with pytest.raises(NotInSpmdRegion):
+        repro.barrier()
+
+
+def test_exception_propagates_to_launcher():
+    def body():
+        if repro.myrank() == 1:
+            raise ValueError("rank 1 exploded")
+        repro.barrier()
+
+    with pytest.raises(ValueError, match="rank 1 exploded"):
+        run_spmd(body, ranks=3)
+
+
+def test_peer_failure_unblocks_barrier_waiters():
+    """Ranks blocked in a barrier must not hang when a peer dies."""
+    def body():
+        if repro.myrank() == 0:
+            raise RuntimeError("early death")
+        repro.barrier()  # would deadlock without failure propagation
+
+    with pytest.raises(RuntimeError, match="early death"):
+        run_spmd(body, ranks=4, timeout=20)
+
+
+def test_peer_failure_object_fields():
+    failure_seen = {}
+
+    def body():
+        if repro.myrank() == 0:
+            raise RuntimeError("boom")
+        try:
+            repro.barrier()
+        except PeerFailure as pf:
+            failure_seen["rank"] = pf.failed_rank
+            raise
+
+    with pytest.raises(RuntimeError):
+        run_spmd(body, ranks=2, timeout=20)
+    assert failure_seen["rank"] == 0
+
+
+def test_nested_spmd_rejected():
+    def body():
+        with pytest.raises(PgasError):
+            repro.spmd(lambda: None, ranks=1)
+        return True
+
+    assert all(run_spmd(body, ranks=1))
+
+
+def test_single_rank_world():
+    res = run_spmd(lambda: (repro.myrank(), repro.ranks()), ranks=1)
+    assert res == [(0, 1)]
+
+
+def test_world_needs_positive_ranks():
+    with pytest.raises(ValueError):
+        repro.spmd(lambda: None, ranks=0)
+
+
+def test_bad_thread_mode_rejected():
+    with pytest.raises(ValueError):
+        repro.spmd(lambda: None, ranks=1, thread_mode="weird")
+
+
+def test_blocking_op_times_out_with_comm_timeout():
+    """A rank waiting on an event nobody signals must hit the watchdog."""
+    def body():
+        if repro.myrank() == 0:
+            e = repro.Event()
+            e.incref()  # registered but never signaled
+            e.wait(timeout=0.2)
+
+    with pytest.raises(CommTimeout):
+        run_spmd(body, ranks=2, timeout=10)
+
+
+def test_rank_context_is_thread_local():
+    """The launching thread has no context while ranks run."""
+    def body():
+        repro.barrier()
+        return repro.myrank()
+
+    res = run_spmd(body, ranks=2)
+    assert res == [0, 1]
+    with pytest.raises(NotInSpmdRegion):
+        repro.myrank()
+
+
+def test_scratch_is_per_rank():
+    def body():
+        ctx = repro.current_world().ranks[repro.myrank()]
+        ctx.scratch["x"] = repro.myrank()
+        repro.barrier()
+        return ctx.scratch["x"]
+
+    assert run_spmd(body, ranks=3) == [0, 1, 2]
+
+
+def test_worlds_are_isolated():
+    """Sequential worlds do not leak segments or collective state."""
+    def body():
+        sa = repro.SharedArray(dtype=int, size=8)
+        sa[repro.myrank()] = repro.myrank()
+        repro.barrier()
+        return int(sa[0])
+
+    first = run_spmd(body, ranks=2)
+    second = run_spmd(body, ranks=2)
+    assert first == second == [0, 0]

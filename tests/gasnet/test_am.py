@@ -1,0 +1,63 @@
+"""Active-message plumbing tests (registry, wire accounting, replies)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PgasError
+from repro.gasnet.am import (
+    ActiveMessage,
+    am_handler,
+    handler_registry,
+    make_reply,
+    payload_nbytes,
+)
+
+
+def test_handler_registration_and_duplicate_detection():
+    @am_handler("test_unique_handler_xyz")
+    def h(ctx, am):
+        pass
+
+    assert handler_registry["test_unique_handler_xyz"] is h
+    # re-registering the same function is idempotent
+    am_handler("test_unique_handler_xyz")(h)
+
+    with pytest.raises(PgasError):
+        @am_handler("test_unique_handler_xyz")
+        def other(ctx, am):
+            pass
+
+
+def test_wire_bytes_includes_args_and_payload():
+    small = ActiveMessage(handler="h", src_rank=0)
+    assert small.wire_bytes >= 32
+    with_args = ActiveMessage(handler="h", src_rank=0, args=(1, "abc"))
+    assert with_args.wire_bytes > small.wire_bytes
+    payload = np.zeros(100, dtype=np.float64)
+    with_payload = ActiveMessage(handler="h", src_rank=0, payload=payload)
+    assert with_payload.wire_bytes >= 32 + 800
+
+
+def test_wire_bytes_cached():
+    am = ActiveMessage(handler="h", src_rank=0, args=(1,))
+    first = am.wire_bytes
+    assert am.wire_bytes == first
+
+
+def test_payload_nbytes_variants():
+    assert payload_nbytes(None) == 0
+    assert payload_nbytes(b"abcd") == 4
+    assert payload_nbytes(np.zeros(3, dtype=np.int32)) == 12
+    assert payload_nbytes({"a": 1}) > 0  # pickled fallback
+
+
+def test_make_reply_carries_token():
+    req = ActiveMessage(handler="h", src_rank=3, token=77)
+    rep = make_reply(req, src_rank=5, args=("ok",))
+    assert rep.is_reply and rep.token == 77 and rep.src_rank == 5
+
+
+def test_make_reply_requires_token():
+    req = ActiveMessage(handler="h", src_rank=3)
+    with pytest.raises(PgasError):
+        make_reply(req, src_rank=0)

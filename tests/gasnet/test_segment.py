@@ -1,0 +1,201 @@
+"""Segment allocator and raw-access tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BadPointer, SegmentOutOfMemory
+from repro.gasnet.segment import Segment, _align_up
+
+
+def test_alloc_returns_aligned_offsets():
+    seg = Segment(4096)
+    for align in (1, 2, 4, 8, 16, 64):
+        off = seg.alloc(10, align=align)
+        assert off % align == 0
+
+
+def test_align_up():
+    assert _align_up(0, 8) == 0
+    assert _align_up(1, 8) == 8
+    assert _align_up(8, 8) == 8
+    assert _align_up(9, 4) == 12
+
+
+def test_alloc_free_reuses_space():
+    seg = Segment(128)
+    a = seg.alloc(64)
+    with pytest.raises(SegmentOutOfMemory):
+        seg.alloc(128)
+    seg.free(a)
+    b = seg.alloc(128)  # full segment usable again after coalescing
+    assert b == 0
+
+
+def test_out_of_memory_raises():
+    seg = Segment(64)
+    with pytest.raises(SegmentOutOfMemory):
+        seg.alloc(65)
+
+
+def test_zero_byte_alloc_is_legal_and_freeable():
+    seg = Segment(64)
+    a = seg.alloc(0)
+    b = seg.alloc(0)
+    assert a != b  # distinct reservations
+    seg.free(a)
+    seg.free(b)
+    assert seg.bytes_in_use == 0
+
+
+def test_double_free_raises():
+    seg = Segment(64)
+    a = seg.alloc(8)
+    seg.free(a)
+    with pytest.raises(BadPointer):
+        seg.free(a)
+
+
+def test_free_of_unallocated_offset_raises():
+    seg = Segment(64)
+    with pytest.raises(BadPointer):
+        seg.free(12)
+
+
+def test_negative_alloc_and_bad_align_raise():
+    seg = Segment(64)
+    with pytest.raises(ValueError):
+        seg.alloc(-1)
+    with pytest.raises(ValueError):
+        seg.alloc(8, align=3)
+    with pytest.raises(ValueError):
+        seg.alloc(8, align=0)
+
+
+def test_coalescing_merges_adjacent_holes():
+    seg = Segment(96)
+    a = seg.alloc(32)
+    b = seg.alloc(32)
+    c = seg.alloc(32)
+    seg.free(a)
+    seg.free(c)
+    assert len(list(seg.holes())) == 2
+    seg.free(b)  # middle free merges all three
+    assert list(seg.holes()) == [(0, 96)]
+
+
+def test_typed_read_write_roundtrip():
+    seg = Segment(1024)
+    off = seg.alloc(64, align=8)
+    data = np.arange(8, dtype=np.float64)
+    seg.typed_write(off, data)
+    out = seg.typed_read(off, np.float64, 8)
+    assert np.array_equal(out, data)
+    # reads are copies
+    out[:] = 0
+    assert np.array_equal(seg.typed_read(off, np.float64, 8), data)
+
+
+def test_view_is_zero_copy_and_checks_alignment():
+    seg = Segment(128)
+    off = seg.alloc(32, align=8)
+    v = seg.view(off, np.int32, 8)
+    v[:] = 7
+    assert np.all(seg.typed_read(off, np.int32, 8) == 7)
+    with pytest.raises(BadPointer):
+        seg.view(off + 1, np.int32, 1)  # misaligned
+
+
+def test_range_checks():
+    seg = Segment(64)
+    with pytest.raises(BadPointer):
+        seg.read(60, 8)
+    with pytest.raises(BadPointer):
+        seg.write(-1, np.zeros(4, dtype=np.uint8))
+    with pytest.raises(BadPointer):
+        seg.typed_read(0, np.float64, 9)
+
+
+def test_atomic_update_returns_old_value():
+    seg = Segment(64)
+    off = seg.alloc(8, align=8)
+    seg.typed_write(off, np.array([5], dtype=np.int64))
+    old = seg.atomic_update(off, np.int64, lambda o, v: o ^ v, 3)
+    assert old == 5
+    assert seg.typed_read(off, np.int64, 1)[0] == 6
+
+
+def test_peak_and_live_counters():
+    seg = Segment(256)
+    a = seg.alloc(64)
+    b = seg.alloc(64)
+    assert seg.bytes_in_use == 128
+    assert seg.n_live_allocations == 2
+    seg.free(a)
+    assert seg.bytes_in_use == 64
+    assert seg.peak_bytes_in_use == 128
+    seg.free(b)
+
+
+def test_allocation_size_query():
+    seg = Segment(128)
+    a = seg.alloc(24)
+    assert seg.allocation_size(a) == 24
+    with pytest.raises(BadPointer):
+        seg.allocation_size(a + 1)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(1, 200), st.sampled_from([1, 2, 4, 8, 16])),
+    min_size=1, max_size=40,
+))
+def test_allocator_invariants(requests):
+    """Property: live allocations never overlap, all stay in bounds, and
+    freeing everything restores one maximal hole."""
+    seg = Segment(8192)
+    live: dict[int, int] = {}
+    for nbytes, align in requests:
+        try:
+            off = seg.alloc(nbytes, align=align)
+        except SegmentOutOfMemory:
+            continue
+        assert off % align == 0
+        assert 0 <= off and off + nbytes <= seg.size
+        for o, n in live.items():
+            assert off + max(nbytes, 1) <= o or o + n <= off, \
+                "overlapping allocations"
+        live[off] = max(nbytes, 1)
+    for off in list(live):
+        seg.free(off)
+    assert list(seg.holes()) == [(0, seg.size)]
+    assert seg.bytes_in_use == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(
+    st.tuples(st.booleans(), st.integers(1, 300),
+              st.sampled_from([1, 4, 8])),
+    min_size=1, max_size=60,
+))
+def test_allocator_interleaved_alloc_free(script):
+    """Property: random interleavings of alloc and free keep the
+    no-overlap/bounds invariants and fully coalesce at the end."""
+    seg = Segment(16384)
+    live: list[tuple[int, int]] = []
+    for do_free, nbytes, align in script:
+        if do_free and live:
+            off, _n = live.pop(len(live) // 2)
+            seg.free(off)
+            continue
+        try:
+            off = seg.alloc(nbytes, align=align)
+        except SegmentOutOfMemory:
+            continue
+        for o, n in live:
+            assert off + max(nbytes, 1) <= o or o + n <= off
+        live.append((off, max(nbytes, 1)))
+    for off, _n in live:
+        seg.free(off)
+    assert list(seg.holes()) == [(0, seg.size)]
+    assert seg.n_live_allocations == 0

@@ -1,0 +1,52 @@
+"""CommStats counter tests."""
+
+from repro.gasnet.stats import CommStats, aggregate
+
+
+def test_counters_accumulate():
+    s = CommStats()
+    s.record_put(100)
+    s.record_put(50)
+    s.record_get(8)
+    s.record_atomic()
+    s.record_am(40)
+    s.record_am_handled()
+    s.record_reply()
+    s.record_barrier()
+    s.record_collective()
+    s.record_local()
+    snap = s.snapshot()
+    assert snap["puts"] == 2 and snap["put_bytes"] == 150
+    assert snap["gets"] == 1 and snap["get_bytes"] == 8
+    assert snap["atomics"] == 1
+    assert snap["ams_sent"] == 1 and snap["am_bytes"] == 40
+    assert snap["local_accesses"] == 1
+    assert snap["remote_accesses"] == 4  # puts + gets + atomics
+
+
+def test_derived_properties():
+    s = CommStats()
+    s.record_put(10)
+    s.record_get(20)
+    s.record_am(30)
+    assert s.messages == 3
+    assert s.bytes_moved == 60
+
+
+def test_reset():
+    s = CommStats()
+    s.record_put(10)
+    s.reset()
+    assert s.snapshot()["puts"] == 0
+    assert s.messages == 0
+
+
+def test_aggregate():
+    a, b = CommStats(), CommStats()
+    a.record_put(1)
+    b.record_put(2)
+    b.record_get(4)
+    total = aggregate([a, b])
+    assert total["puts"] == 2
+    assert total["put_bytes"] == 3
+    assert total["gets"] == 1

@@ -1,0 +1,132 @@
+"""Communication tracing tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.gasnet.trace import Trace
+from tests.conftest import run_spmd
+
+
+def test_trace_records_puts_and_gets():
+    def body():
+        me = repro.myrank()
+        sa = repro.SharedArray(np.int64, size=4, block=1)
+        repro.barrier()
+        trace = Trace(repro.current_world()) if me == 0 else None
+        repro.barrier()
+        if me == 0:
+            with trace:
+                sa[1] = 7          # remote put (element 1 on rank 1)
+                _ = sa[1]          # remote get
+                _ = sa[0]          # local: not a conduit op
+            assert trace.count(kind="put") == 1
+            assert trace.count(kind="get") == 1
+            assert trace.count(kind="put", dst=1) == 1
+            assert trace.bytes(kind="put") == 8
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_trace_records_am_handler_names():
+    def body():
+        me = repro.myrank()
+        repro.barrier()
+        if me == 0:
+            trace = Trace(repro.current_world())
+            with trace:
+                repro.async_(1)(int, 5).get()
+            kinds = [(ev.kind, ev.detail) for ev in trace.events
+                     if ev.src == 0]
+            assert ("am", "exec_task") in kinds
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_trace_matrix_shows_ghost_pattern():
+    """The stencil's comm matrix: nonzero only between face neighbours."""
+    from repro.arrays import DistNdArray, RectDomain
+
+    def body():
+        me = repro.myrank()
+        D = DistNdArray(np.float64, RectDomain((0, 0), (8, 8)), ghost=1)
+        D.interior_view()[:] = float(me)
+        repro.barrier()
+        trace = Trace(repro.current_world()) if me == 0 else None
+        repro.barrier()
+        if me == 0:
+            with trace:
+                # rank 0's halves of the exchange only; peers do theirs
+                # outside the trace, which records *initiators*.
+                for nbr_rank, offs in D.neighbors():
+                    if sum(map(abs, offs)) != 1:
+                        continue
+                    halo = D._halo_region(offs)
+                    D.local.constrict(halo).copy(D.remote(nbr_rank))
+            partners = trace.partners(0)
+            face_nbrs = {r for r, o in D.neighbors()
+                         if sum(map(abs, o)) == 1}
+            assert partners == face_nbrs
+        repro.barrier()
+        D.ghost_exchange(faces_only=True)  # leave world consistent
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_trace_nesting_rejected():
+    def body():
+        if repro.myrank() == 0:
+            trace = Trace(repro.current_world())
+            with trace:
+                with pytest.raises(RuntimeError):
+                    trace.__enter__()
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_trace_uninstalls_cleanly():
+    def body():
+        me = repro.myrank()
+        sa = repro.SharedArray(np.int64, size=2, block=1)
+        repro.barrier()
+        if me == 0:
+            world = repro.current_world()
+            original = world.conduit
+            trace = Trace(world)
+            with trace:
+                sa[1] = 1
+            assert world.conduit is original
+            n_before = len(trace.events)
+            sa[1] = 2  # after exit: not recorded
+            assert len(trace.events) == n_before
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_trace_timestamps_monotone():
+    def body():
+        if repro.myrank() == 0:
+            trace = Trace(repro.current_world())
+            sa = None
+        sa_all = repro.SharedArray(np.int64, size=8, block=1)
+        repro.barrier()
+        if repro.myrank() == 0:
+            with trace:
+                for i in range(8):
+                    sa_all[i] = i
+            ts = [ev.t for ev in trace.events]
+            assert ts == sorted(ts)
+            assert all(t >= 0 for t in ts)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))

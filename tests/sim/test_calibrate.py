@@ -1,0 +1,59 @@
+"""Calibration: live overhead measurement and model refit."""
+
+import pytest
+
+from repro.sim.calibrate import (
+    Measurements,
+    fitted_overheads,
+    measure_software_overheads,
+)
+from repro.sim.machine import EDISON
+
+
+@pytest.fixture(scope="module")
+def meas():
+    # Few iterations: we need valid positive numbers, not tight timing.
+    return measure_software_overheads(iters=200, bulk_bytes=1 << 16)
+
+
+def test_measurements_are_positive(meas):
+    assert meas.local_access > 0
+    assert meas.upcxx_remote > 0
+    assert meas.upc_remote > 0
+    assert meas.async_rtt > 0
+    assert meas.copy_bw > 0
+
+
+def test_local_cheaper_than_remote(meas):
+    """The Fig. 3 branch exists for a reason."""
+    assert meas.local_access < meas.upcxx_remote
+
+
+def test_async_rtt_dwarfs_element_access(meas):
+    """A full task round trip costs far more than a fine-grained get —
+    the reason the paper ships *functions* rather than chatty loops."""
+    assert meas.async_rtt > 3 * meas.upcxx_remote
+
+
+def test_ratios(meas):
+    assert meas.upc_over_upcxx == pytest.approx(
+        meas.upc_remote / meas.upcxx_remote
+    )
+    assert meas.remote_over_local > 1.0
+
+
+def test_fitted_overheads_preserve_measured_ratio(meas):
+    fit = fitted_overheads(EDISON, meas)
+    anchor = EDISON.overheads("upcxx").fine_grained
+    assert fit["upcxx"].fine_grained == anchor
+    assert fit["upc"].fine_grained / anchor == pytest.approx(
+        meas.upc_over_upcxx, rel=1e-9
+    )
+    assert fit["python_to_model_scale"] > 0
+
+
+def test_fitted_overheads_from_synthetic_measurements():
+    m = Measurements(local_access=1e-7, upcxx_remote=1e-6,
+                     upc_remote=0.8e-6, async_rtt=1e-5, copy_bw=1e9)
+    fit = fitted_overheads(EDISON, m)
+    assert fit["upc"].fine_grained < fit["upcxx"].fine_grained

@@ -1,0 +1,107 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.errors import PgasError
+from repro.sim.des import (
+    Barrier,
+    Compute,
+    DesEngine,
+    Get,
+    Put,
+    Recv,
+    Send,
+    WaitAll,
+)
+from repro.sim.machine import EDISON
+
+
+def engine(cores=48, model="upcxx"):
+    return DesEngine(EDISON, model, cores)
+
+
+def test_compute_only():
+    e = engine()
+    r = e.run([[Compute(1.0)], [Compute(2.0)]])
+    assert r["finish_times"] == [1.0, 2.0]
+    assert r["makespan"] == 2.0
+
+
+def test_send_recv_adds_latency():
+    e = engine()
+    r = e.run([
+        [Send(1, 0)],
+        [Recv(0, 0)],
+    ])
+    # receiver finishes after inject + latency + recv overhead
+    expect = e._inject_cost(0) + e.latency + e.ov.message
+    assert r["finish_times"][1] == pytest.approx(expect)
+
+
+def test_recv_waits_for_late_sender():
+    e = engine()
+    r = e.run([
+        [Compute(1.0), Send(1, 0)],
+        [Recv(0, 0)],
+    ])
+    assert r["finish_times"][1] > 1.0
+
+
+def test_unmatched_recv_deadlocks():
+    e = engine()
+    with pytest.raises(PgasError, match="deadlock"):
+        e.run([[Recv(1, 0)], [Compute(0.1)]])
+
+
+def test_mismatched_barrier_deadlocks():
+    e = engine()
+    with pytest.raises(PgasError, match="deadlock"):
+        e.run([[Barrier()], [Compute(0.1)]])
+
+
+def test_barrier_synchronizes_clocks():
+    e = engine()
+    r = e.run([
+        [Compute(5.0), Barrier(), Compute(0.0)],
+        [Compute(1.0), Barrier(), Compute(0.0)],
+    ])
+    assert r["finish_times"][0] == r["finish_times"][1]
+    assert r["makespan"] >= 5.0
+
+
+def test_put_is_nonblocking_until_waitall():
+    e = engine()
+    nbytes = 1 << 20
+    with_wait = e.run([[Put(1, nbytes), WaitAll()], []])["finish_times"][0]
+    without = e.run([[Put(1, nbytes)], []])["finish_times"][0]
+    assert with_wait > without  # fence pays delivery latency
+
+
+def test_get_is_a_round_trip():
+    e = engine()
+    t = e.run([[Get(1, 8)], []])["finish_times"][0]
+    assert t == pytest.approx(2 * e.ov.message + 2 * e.latency + 8 * e.G)
+
+
+def test_tags_disambiguate():
+    e = engine()
+    r = e.run([
+        [Send(1, 0, tag=1), Send(1, 0, tag=2)],
+        [Recv(0, 0, tag=2), Recv(0, 0, tag=1)],
+    ])
+    assert r["makespan"] > 0
+
+
+def test_mpi_model_pays_more_per_message():
+    up = DesEngine(EDISON, "upcxx", 48)
+    mp = DesEngine(EDISON, "mpi", 48)
+    prog = [[Send(1, 1024, tag=0)] * 10, [Recv(0, 1024, tag=0)] * 10]
+    t_up = up.run([p[:] for p in prog])["makespan"]
+    t_mp = mp.run([p[:] for p in prog])["makespan"]
+    assert t_mp > t_up
+
+
+def test_unknown_op_rejected():
+    e = engine()
+    with pytest.raises(PgasError, match="unknown op"):
+        e.run([[object()]])

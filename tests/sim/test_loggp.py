@@ -1,0 +1,52 @@
+"""LogGP cost-function algebra."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.loggp import LogGP
+
+P = LogGP(L=1e-6, o=0.5e-6, g=0.2e-6, G=1e-9)
+
+
+def test_bandwidth_inverse_of_G():
+    assert P.bandwidth == pytest.approx(1e9)
+
+
+def test_small_message_and_round_trip():
+    assert P.small_message() == pytest.approx(1.5e-6)
+    assert P.round_trip() == pytest.approx(3.0e-6)
+    assert P.round_trip(L_eff=2e-6) == pytest.approx(5.0e-6)
+
+
+def test_bulk_scales_with_bytes():
+    t1 = P.bulk(1)
+    t2 = P.bulk(1_000_001)
+    assert t2 - t1 == pytest.approx(1e-3, rel=1e-6)
+
+
+def test_pipelined_zero_messages():
+    assert P.pipelined(0, 100) == 0.0
+
+
+def test_pipelined_gap_limited():
+    """Tiny messages: steady-state rate is the gap g, not o+L."""
+    n = 1000
+    t = P.pipelined(n, 0)
+    per_msg = (t - P.small_message()) / (n - 1)
+    assert per_msg == pytest.approx(max(P.g, P.o), rel=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(1, 100), size=st.integers(0, 10_000))
+def test_pipelined_never_beats_single_message_rate(n, size):
+    """Property: n pipelined messages take at least one message's time
+    and at most n sequential bulk sends."""
+    t = P.pipelined(n, size)
+    assert t >= P.bulk(size) - 1e-18
+    assert t <= n * P.bulk(size) + 1e-18
+
+
+@settings(max_examples=50, deadline=None)
+@given(size=st.integers(1, 1 << 20))
+def test_bulk_monotone_in_size(size):
+    assert P.bulk(size + 1) >= P.bulk(size)

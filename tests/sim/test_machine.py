@@ -1,0 +1,63 @@
+"""Machine preset sanity."""
+
+import pytest
+
+from repro.sim.machine import EDISON, MACHINES, VESTA
+
+
+def test_presets_registered():
+    assert MACHINES["edison"] is EDISON
+    assert MACHINES["vesta"] is VESTA
+
+
+def test_nodes_for():
+    assert EDISON.nodes_for(1) == 1
+    assert EDISON.nodes_for(24) == 1
+    assert EDISON.nodes_for(25) == 2
+    assert VESTA.nodes_for(8192) == 512
+
+
+def test_latency_grows_across_nodes():
+    for m in (EDISON, VESTA):
+        intra = m.one_way_latency(m.cores_per_node)
+        inter = m.one_way_latency(m.cores_per_node * 64)
+        assert intra < inter
+
+
+def test_vesta_latency_keeps_growing_with_torus():
+    l1 = VESTA.one_way_latency(VESTA.cores_per_node * 8)
+    l2 = VESTA.one_way_latency(VESTA.cores_per_node * 512)
+    assert l2 > l1
+
+
+def test_injection_share_splits_nic():
+    full = EDISON.injection_bw_per_core(24)
+    assert full == pytest.approx(EDISON.loggp.bandwidth / 24)
+
+
+def test_effective_bw_memory_bound_inside_node():
+    assert EDISON.effective_bw_per_core(4) == EDISON.mem_bw_per_core
+    assert EDISON.effective_bw_per_core(48) < EDISON.mem_bw_per_core
+
+
+def test_alltoall_taper_reduces_bandwidth():
+    one_node = EDISON.alltoall_bw_per_core(24)
+    many = EDISON.alltoall_bw_per_core(12288)
+    assert many < one_node / 10
+
+
+def test_model_overhead_ordering():
+    """The relationships the paper reports: compiled UPC access is the
+    cheapest; MPI messages cost more than one-sided ones."""
+    for m in (EDISON, VESTA):
+        assert m.overheads("upc").fine_grained \
+            < m.overheads("upcxx").fine_grained
+        assert m.overheads("mpi").message > m.overheads("upcxx").message
+        # Titanium ~ UPC++ (paper: nearly equivalent)
+        t, u = m.overheads("titanium"), m.overheads("upcxx")
+        assert abs(t.message - u.message) / u.message < 0.1
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(KeyError, match="chapel"):
+        EDISON.overheads("chapel")

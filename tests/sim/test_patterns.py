@@ -1,0 +1,101 @@
+"""Structural tests of the DES pattern generators: op counts and
+neighbour sets must match each benchmark's communication skeleton."""
+
+import pytest
+
+from repro.sim.des import Barrier, Compute, Get, Put, Recv, Send, WaitAll
+from repro.sim.patterns import (
+    alltoall_pattern,
+    dag_pattern,
+    gups_pattern,
+    halo3d_pattern,
+    reduction_pattern,
+)
+
+
+def _count(program, op_type):
+    return sum(1 for op in program if isinstance(op, op_type))
+
+
+def test_gups_pattern_update_counts():
+    progs = gups_pattern(8, updates_per_rank=50, t_local=1e-7)
+    assert len(progs) == 8
+    for p in progs:
+        gets = _count(p, Get)
+        computes = _count(p, Compute)
+        assert computes == 50            # one xor per update
+        assert gets <= 50
+        assert _count(p, Barrier) == 1
+    # roughly (1 - 1/P) of updates are remote
+    total_gets = sum(_count(p, Get) for p in progs)
+    assert 0.6 * 400 < total_gets < 400
+
+
+def test_gups_pattern_deterministic():
+    a = gups_pattern(4, 20, 1e-7, seed=9)
+    b = gups_pattern(4, 20, 1e-7, seed=9)
+    assert a == b
+    c = gups_pattern(4, 20, 1e-7, seed=10)
+    assert a != c
+
+
+@pytest.mark.parametrize("nranks,expect_max_nbrs", [(8, 6), (27, 6), (4, 3)])
+def test_halo_pattern_neighbor_counts(nranks, expect_max_nbrs):
+    progs = halo3d_pattern(nranks, iters=1, face_bytes=100,
+                           t_compute=1e-6, one_sided=True)
+    for p in progs:
+        puts = _count(p, Put)
+        assert 1 <= puts <= expect_max_nbrs
+        assert _count(p, WaitAll) == 1
+        assert _count(p, Barrier) == 1
+
+
+def test_halo_pattern_interior_rank_has_six_faces():
+    progs = halo3d_pattern(27, iters=1, face_bytes=8, t_compute=0.0)
+    center = 13  # (1,1,1) of the 3x3x3 grid
+    assert _count(progs[center], Put) == 6
+
+
+def test_halo_two_sided_sends_match_recvs():
+    progs = halo3d_pattern(8, iters=2, face_bytes=8, t_compute=0.0,
+                           one_sided=False)
+    sends = sum(_count(p, Send) for p in progs)
+    recvs = sum(_count(p, Recv) for p in progs)
+    assert sends == recvs > 0
+
+
+def test_alltoall_pattern_counts():
+    n = 6
+    progs = alltoall_pattern(n, bytes_per_pair=64, t_compute=1e-3)
+    for r, p in enumerate(progs):
+        puts = [op for op in p if isinstance(op, Put)]
+        assert len(puts) == n - 1
+        assert {op.dst for op in puts} == set(range(n)) - {r}
+
+
+def test_reduction_pattern_is_a_tree():
+    n = 16
+    progs = reduction_pattern(n, nbytes=128, t_compute_per_rank=[0.0] * n)
+    sends = sum(_count(p, Send) for p in progs)
+    assert sends == n - 1            # a tree has n-1 edges
+    # rank 0 only receives
+    assert _count(progs[0], Send) == 0
+    assert _count(progs[0], Recv) > 0
+
+
+def test_reduction_pattern_non_power_of_two():
+    n = 11
+    progs = reduction_pattern(n, nbytes=8, t_compute_per_rank=[0.0] * n)
+    sends = sum(_count(p, Send) for p in progs)
+    assert sends == n - 1
+
+
+def test_dag_pattern_structure():
+    progs = dag_pattern()
+    assert len(progs) == 7
+    # orchestrator issues 6 task sends and collects 6 completions
+    assert _count(progs[0], Send) == 6
+    assert _count(progs[0], Recv) == 6
+    for r in range(1, 7):
+        assert _count(progs[r], Recv) == 1
+        assert _count(progs[r], Send) == 1

@@ -1,0 +1,96 @@
+"""Cross-validation: the closed-form figure models against the DES
+executing the actual communication patterns, at small scale.
+
+The closed forms make aggregation assumptions (phases overlap, ranks
+are symmetric); the DES executes the per-rank op streams.  We require
+agreement within a modest factor — the point is to catch structural
+errors (wrong message counts, missing round trips), not to reproduce
+each other to the microsecond.
+"""
+
+import pytest
+
+from repro.sim import perfmodel as pm
+from repro.sim.des import DesEngine
+from repro.sim.machine import EDISON, VESTA
+from repro.sim.patterns import (
+    alltoall_pattern,
+    dag_pattern,
+    gups_pattern,
+    halo3d_pattern,
+    reduction_pattern,
+)
+
+
+def test_gups_des_matches_closed_form():
+    cores, updates = 32, 60
+    eng = DesEngine(VESTA, "upcxx", cores)
+    progs = gups_pattern(cores, updates, t_local=0.1e-6)
+    makespan = eng.run(progs)["makespan"]
+    t_per_update_des = makespan / updates
+    t_model = pm.gups_time_per_update(VESTA, "upcxx", cores)
+    assert t_per_update_des == pytest.approx(t_model, rel=0.5)
+
+
+def test_gups_model_remote_fraction_effect():
+    """1 rank (all local) is much cheaper than any multi-rank run, in
+    both the DES and the closed form."""
+    one = pm.gups_time_per_update(VESTA, "upcxx", 1)
+    many = pm.gups_time_per_update(VESTA, "upcxx", 16)
+    assert many > 3 * one
+
+
+def test_halo_des_matches_stencil_phase_model():
+    cores, iters, box = 27, 2, 32
+    face_bytes = box * box * 8
+    t_comp = box ** 3 * 8 / (EDISON.stencil_gflops_per_core * 1e9)
+    eng = DesEngine(EDISON, "upcxx", cores)
+    progs = halo3d_pattern(cores, iters, face_bytes, t_comp,
+                           one_sided=True)
+    makespan = eng.run(progs)["makespan"]
+    model = iters * pm.stencil_iteration_time(EDISON, "upcxx", cores, box)
+    assert makespan == pytest.approx(model, rel=0.5)
+
+
+def test_halo_two_sided_slower_than_one_sided():
+    """The qualitative LULESH claim, on the DES."""
+    cores, iters = 27, 3
+    kw = dict(face_bytes=64 * 64 * 8, t_compute=1e-4)
+    one = DesEngine(EDISON, "upcxx", cores).run(
+        halo3d_pattern(cores, iters, one_sided=True, **kw))["makespan"]
+    two = DesEngine(EDISON, "mpi", cores).run(
+        halo3d_pattern(cores, iters, one_sided=False, **kw))["makespan"]
+    assert two > one
+
+
+def test_alltoall_des_vs_sort_redistribution():
+    cores = 16
+    bytes_pp = 1 << 14
+    eng = DesEngine(EDISON, "upcxx", cores)
+    progs = alltoall_pattern(cores, bytes_pp, t_compute=0.0)
+    makespan = eng.run(progs)["makespan"]
+    # lower bound: every rank injects (P-1) * bytes at its NIC share
+    inject = (cores - 1) * (eng.ov.message + bytes_pp * eng.G)
+    assert makespan >= inject * 0.9
+    assert makespan < inject * 20
+
+
+def test_reduction_tree_scales_logarithmically():
+    nbytes = 1 << 16
+
+    def makespan(p):
+        eng = DesEngine(EDISON, "upcxx", p)
+        return eng.run(reduction_pattern(p, nbytes, [1e-3] * p))["makespan"]
+
+    t8, t64 = makespan(8), makespan(64)
+    # 8x the ranks should cost ~2x (3 vs 6 rounds), nowhere near 8x
+    assert t64 < t8 * 4
+
+
+def test_dag_pattern_runs_and_respects_depth():
+    eng = DesEngine(EDISON, "upcxx", 7)
+    progs = dag_pattern()
+    makespan = eng.run(progs)["makespan"]
+    # the critical path is 3 task levels + 6 message legs
+    min_time = 3 * 1e-4
+    assert makespan > min_time

@@ -1,0 +1,95 @@
+"""Topology hop models validated against explicit networkx graphs."""
+
+import networkx as nx
+import pytest
+
+from repro.sim.topology import Dragonfly, Torus5D, balanced_factors
+
+
+def test_balanced_factors_product_and_order():
+    for n in (1, 2, 8, 24, 512, 1000, 12288):
+        dims = balanced_factors(n, 5)
+        prod = 1
+        for d in dims:
+            prod *= d
+        assert prod == n
+        assert list(dims) == sorted(dims, reverse=True)
+
+
+def test_balanced_factors_balance():
+    assert balanced_factors(32, 5) == (2, 2, 2, 2, 2)
+    assert balanced_factors(64, 3) == (4, 4, 4)
+
+
+def test_balanced_factors_validation():
+    with pytest.raises(ValueError):
+        balanced_factors(0, 5)
+
+
+@pytest.mark.parametrize("nodes", [2, 4, 8, 16, 32, 48])
+def test_torus_avg_hops_matches_graph(nodes):
+    """Closed-form mean hop count == networkx average shortest path."""
+    t = Torus5D(nodes)
+    g = t.as_networkx()
+    expect = nx.average_shortest_path_length(g)
+    assert t.avg_hops() == pytest.approx(expect, rel=1e-9)
+
+
+@pytest.mark.parametrize("nodes", [4, 16, 64])
+def test_torus_diameter_matches_graph(nodes):
+    t = Torus5D(nodes)
+    g = t.as_networkx()
+    assert t.diameter() == nx.diameter(g)
+
+
+def test_torus_single_node():
+    assert Torus5D(1).avg_hops() == 0.0
+
+
+def test_torus_hops_grow_with_size():
+    hops = [Torus5D(n).avg_hops() for n in (8, 64, 512, 4096)]
+    assert hops == sorted(hops)
+    assert hops[-1] > hops[0]
+
+
+def test_torus_bisection_links():
+    t = Torus5D(16)  # dims (2,2,2,2,1)
+    assert t.bisection_links() == 2 * 8
+
+
+@pytest.mark.parametrize("nodes", [4, 64, 256])
+def test_dragonfly_avg_hops_close_to_graph(nodes):
+    """The 0/1/3-hop model vs the explicit gateway-routed graph.
+
+    The explicit graph routes some inter-group pairs in 2 hops (via the
+    gateway router) where the model charges 3, so the model is an upper
+    bound within one hop."""
+    d = Dragonfly(nodes)
+    g = d.as_networkx()
+    actual = nx.average_shortest_path_length(g)
+    assert actual <= d.avg_hops() + 1e-9
+    assert d.avg_hops() - actual < 1.0
+
+
+def test_dragonfly_flat_latency_growth():
+    """Dragonfly diameter saturates: hop growth is bounded by 3."""
+    assert Dragonfly(2).diameter() == 1
+    for nodes in (256, 4096, 100_000):
+        assert Dragonfly(nodes).diameter() == 3
+        assert Dragonfly(nodes).avg_hops() < 3.0
+
+
+def test_dragonfly_taper_monotone():
+    tapers = [Dragonfly(n).global_taper() for n in (32, 256, 2048, 16384)]
+    assert tapers == sorted(tapers)
+    assert Dragonfly(4).global_taper() == 1.0  # single group
+
+
+def test_torus_vs_dragonfly_scaling_contrast():
+    """The structural point behind Fig. 4 vs Fig. 5: torus latency keeps
+    climbing with node count, dragonfly saturates."""
+    big, small = 16384, 256  # both multi-group dragonfly configurations
+    torus_growth = Torus5D(big).avg_hops() / Torus5D(small).avg_hops()
+    df_growth = Dragonfly(big).avg_hops() / Dragonfly(small).avg_hops()
+    assert torus_growth > 1.5
+    assert df_growth < 1.5

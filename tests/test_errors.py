@@ -1,0 +1,31 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_pgas_error():
+    for name in ("NotInSpmdRegion", "PeerFailure", "SegmentOutOfMemory",
+                 "BadPointer", "CommTimeout", "SerializationError",
+                 "DomainError"):
+        assert issubclass(getattr(errors, name), errors.PgasError)
+
+
+def test_peer_failure_carries_context():
+    original = ValueError("boom")
+    pf = errors.PeerFailure(3, original)
+    assert pf.failed_rank == 3
+    assert pf.original is original
+    assert "rank 3" in str(pf) and "boom" in str(pf)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(errors.PgasError):
+        raise errors.BadPointer("x")
+    with pytest.raises(errors.PgasError):
+        raise errors.CommTimeout("y")
+
+
+def test_pgas_errors_are_not_swallowed_as_system_errors():
+    assert not issubclass(errors.PgasError, (OSError, RuntimeError))

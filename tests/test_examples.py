@@ -1,0 +1,50 @@
+"""Every example script must stay runnable (the quickstart contract).
+
+Fast examples run outright; the slower renders/solvers are smoke-tested
+through their underlying library entry points elsewhere
+(tests/bench/*) and only import-checked here.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST = [
+    "quickstart.py",
+    "task_dag.py",
+    "table1_idioms.py",
+    "titanium_arrays.py",
+    "distributed_sort.py",
+    "periodic_advection.py",
+]
+
+SLOW = [
+    "heat_diffusion.py",
+    "render_scene.py",
+    "conjugate_gradient.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST)
+def test_fast_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=180,
+        cwd=str(EXAMPLES.parent),
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+
+
+@pytest.mark.parametrize("script", FAST + SLOW)
+def test_example_compiles(script):
+    src = (EXAMPLES / script).read_text()
+    compile(src, script, "exec")
+
+
+def test_every_example_is_listed():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST) | set(SLOW)

@@ -1,0 +1,185 @@
+"""Cross-module integration scenarios exercising the whole stack."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.arrays import DistNdArray, Point, RectDomain, ndarray
+from tests.conftest import run_spmd
+
+
+def test_distributed_hash_table():
+    """The paper's motivating use case for remote allocation: building
+    an irregular distributed structure (a chained hash table whose
+    buckets live on their hash's owner, inserted from any rank)."""
+    def body():
+        me, n = repro.myrank(), repro.ranks()
+        nbuckets = 16
+        heads = repro.SharedArray(np.int64, size=nbuckets)  # offsets
+        heads.fill_local(-1)
+        lock = repro.GlobalLock()
+        repro.barrier()
+
+        def insert(key: int, value: int):
+            b = key % nbuckets
+            owner = heads.where(b)
+            # node = [key, value, next_offset] on the bucket's owner —
+            # remote allocation, the feature UPC/MPI lack (§III-C).
+            node = repro.allocate(owner, 3, np.int64)
+            with lock:
+                node.put(np.array([key, value, int(heads[b])]))
+                heads[b] = node.offset
+
+        def find(key: int):
+            b = key % nbuckets
+            owner = heads.where(b)
+            off = int(heads[b])
+            while off != -1:
+                node = repro.GlobalPtr(owner, off, np.int64)
+                k, v, nxt = node.get(3)
+                if k == key:
+                    return int(v)
+                off = int(nxt)
+            return None
+
+        for i in range(8):
+            insert(me * 100 + i, me * 1000 + i)
+        repro.barrier()
+        # every rank can find every key, wherever it was inserted from
+        for r in range(n):
+            for i in range(8):
+                assert find(r * 100 + i) == r * 1000 + i
+        assert find(999999) is None
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4, timeout=60))
+
+
+def test_master_worker_with_asyncs_and_events():
+    """Dynamic tasking over SPMD: a master farms squares out to workers
+    with events gating a second wave (X10/Phalanx style)."""
+    def body():
+        me, n = repro.myrank(), repro.ranks()
+        if me == 0:
+            wave1 = repro.Event()
+            results = []
+            with repro.finish():
+                for i in range(2 * n):
+                    f = repro.async_(1 + i % (n - 1), signal=wave1)(
+                        lambda x: x * x, i
+                    )
+                    f.add_callback(lambda fut: results.append(fut.get()))
+            assert sorted(results) == [i * i for i in range(2 * n)]
+            assert wave1.test()
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_halo_pipeline_mixing_arrays_and_asyncs():
+    """Ghost exchange via the array library, then an async reduction
+    notifying rank 0 — the paper's vision of composed idioms."""
+    def body():
+        me = repro.myrank()
+        D = DistNdArray(np.float64, RectDomain((0, 0), (8, 8)), ghost=1)
+        D.interior_view()[:] = me + 1.0
+        D.ghost_exchange(faces_only=True)
+        local_sum = float(D.interior_view().sum())
+        total = repro.collectives.allreduce(local_sum)
+        n = repro.ranks()
+        per = 64 / n
+        assert total == pytest.approx(sum((r + 1) * per for r in range(n)))
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_spmd_plus_mpi_interop():
+    """Paper objective #3: UPC++ and MPI in the same program, one-to-one
+    rank mapping — PGAS puts next to two-sided messaging."""
+    from repro.compat import mpi
+
+    def body():
+        me, n = repro.myrank(), repro.ranks()
+        sa = repro.SharedArray(np.int64, size=n)
+        repro.barrier()
+        sa[me] = me * 2              # PGAS one-sided write
+        repro.barrier()
+        nxt, prv = (me + 1) % n, (me - 1) % n
+        got = mpi.sendrecv(int(sa[me]), dest=nxt, source=prv)  # MPI
+        assert got == prv * 2
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_matrix_block_rotate_with_array_copies():
+    """One-sided ndarray copies moving blocks around a ring."""
+    def body():
+        me, n = repro.myrank(), repro.ranks()
+        dom = RectDomain((0, 0), (4, 4))
+        mine = ndarray(np.float64, dom)
+        mine.set(float(me))
+        d = repro.Directory()
+        d.publish_and_sync(mine)
+        nxt = d.lookup((me + 1) % n)
+        staging = ndarray(np.float64, dom)
+        staging.copy(nxt)            # pull neighbour's block
+        repro.barrier()
+        mine.copy(staging)           # install it as ours
+        repro.barrier()
+        assert np.all(mine.local_view() == float((me + 1) % n))
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_full_stack_stress_many_small_worlds():
+    """Launch/teardown robustness: many short-lived worlds in a row."""
+    for k in range(6):
+        res = run_spmd(
+            lambda: repro.collectives.allreduce(repro.myrank()),
+            ranks=3,
+        )
+        assert res == [3, 3, 3]
+
+
+def test_soak_many_rounds_of_everything():
+    """A longer soak: repeated epochs of collectives, shared access,
+    asyncs, locks and ghost exchange in one world."""
+    from repro.arrays import DistNdArray, RectDomain
+
+    def body():
+        me, n = repro.myrank(), repro.ranks()
+        sa = repro.SharedArray(np.int64, size=64, block=8)
+        D = DistNdArray(np.float64, RectDomain((0, 0), (8, 8)), ghost=1)
+        lk = repro.GlobalLock()
+        total_checks = 0
+        for epoch in range(12):
+            # PGAS writes to my elements
+            for i in sa.local_indices():
+                sa[int(i)] = epoch * 1000 + int(i)
+            repro.barrier()
+            # reads of everyone's
+            probe = (epoch * 7) % 64
+            assert sa[probe] == epoch * 1000 + probe
+            # ghost exchange epoch
+            D.interior_view()[:] = float(me + epoch)
+            D.ghost_exchange(faces_only=True)
+            # an async wave
+            with repro.finish():
+                repro.async_((me + epoch) % n)(int, epoch)
+            # serialized critical section
+            with lk:
+                total_checks += 1
+            repro.barrier()
+        agg = repro.collectives.allreduce(total_checks)
+        assert agg == 12 * n
+        return True
+
+    assert all(run_spmd(body, ranks=4, timeout=90))

@@ -1,0 +1,57 @@
+"""Utility helpers: timers and deterministic RNG seeding."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util import Timer, mt_seed_for_rank, splitmix64
+
+
+def test_timer_measures_elapsed():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert 0.005 < t.elapsed < 1.0
+
+
+def test_timer_lap():
+    with Timer() as t:
+        first = t.lap()
+        second = t.lap()
+    assert second >= first >= 0.0
+
+
+def test_splitmix_deterministic_and_64bit():
+    assert splitmix64(42) == splitmix64(42)
+    assert 0 <= splitmix64(42) < (1 << 64)
+    assert splitmix64(42) != splitmix64(43)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(0, (1 << 64) - 1))
+def test_splitmix_stays_in_range(x):
+    assert 0 <= splitmix64(x) < (1 << 64)
+
+
+def test_splitmix_avalanche():
+    """Single-bit input changes flip ~half the output bits."""
+    flips = bin(splitmix64(1234) ^ splitmix64(1235)).count("1")
+    assert 16 < flips < 48
+
+
+def test_rank_generators_are_decorrelated():
+    a = mt_seed_for_rank(7, 0).integers(0, 1 << 62, 100)
+    b = mt_seed_for_rank(7, 1).integers(0, 1 << 62, 100)
+    assert not np.array_equal(a, b)
+
+
+def test_rank_generators_reproducible():
+    a = mt_seed_for_rank(7, 3).integers(0, 1 << 62, 50)
+    b = mt_seed_for_rank(7, 3).integers(0, 1 << 62, 50)
+    assert np.array_equal(a, b)
+
+
+def test_mt_family():
+    g = mt_seed_for_rank(1, 0)
+    assert isinstance(g.bit_generator, np.random.MT19937)
