@@ -111,6 +111,88 @@ def test_remote_allocation_cost(benchmark):
     _world_bench(benchmark, body)
 
 
+# -- batched RMA engine: batched vs per-element, with coalescing ratio ---
+
+_BATCH_N = 2048
+
+
+def _batch_bench(benchmark, body, size=4096, block=1):
+    """Run ``body(sa, idx)`` on rank 0 over a 4-rank world and attach the
+    conduit-op and coalescing counters observed during the run."""
+    observed = {}
+
+    def run():
+        def spmd_body():
+            sa = repro.SharedArray(np.int64, size=size, block=block)
+            repro.barrier()
+            if repro.myrank() == 0:
+                rng = np.random.default_rng(7)
+                idx = rng.integers(0, size, size=_BATCH_N, dtype=np.int64)
+                stats = repro.current_world().ranks[0].stats
+                s0 = stats.snapshot()
+                body(sa, idx)
+                s1 = stats.snapshot()
+                observed["conduit_ops"] = (
+                    (s1["puts"] + s1["gets"] + s1["atomics"]
+                     + s1["puts_indexed"] + s1["gets_indexed"]
+                     + s1["atomic_batches"])
+                    - (s0["puts"] + s0["gets"] + s0["atomics"]
+                       + s0["puts_indexed"] + s0["gets_indexed"]
+                       + s0["atomic_batches"])
+                )
+                observed["coalescing_ratio"] = round(
+                    stats.coalescing_ratio, 2
+                )
+            repro.barrier()
+
+        repro.spmd(spmd_body, ranks=4)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["elements"] = _BATCH_N
+    benchmark.extra_info.update(observed)
+
+
+def test_gather_batched(benchmark):
+    """2048 random reads via gather: one indexed get per owning rank."""
+    _batch_bench(benchmark, lambda sa, idx: sa.gather(idx))
+
+
+def test_gather_per_element(benchmark):
+    """The same 2048 reads element-at-a-time (the Fig. 3 scalar path)."""
+    def body(sa, idx):
+        for i in idx:
+            sa[int(i)]
+
+    _batch_bench(benchmark, body)
+
+
+def test_scatter_batched(benchmark):
+    _batch_bench(benchmark, lambda sa, idx: sa.scatter(idx, 1))
+
+
+def test_scatter_per_element(benchmark):
+    def body(sa, idx):
+        for i in idx:
+            sa[int(i)] = 1
+
+    _batch_bench(benchmark, body)
+
+
+def test_atomic_batch(benchmark):
+    """2048 xor updates in one batch per owning rank (GUPS inner loop)."""
+    _batch_bench(
+        benchmark, lambda sa, idx: sa.atomic_batch(idx, "xor", 0x5A5A)
+    )
+
+
+def test_atomic_per_element(benchmark):
+    def body(sa, idx):
+        for i in idx:
+            sa.atomic(int(i), "xor", 0x5A5A)
+
+    _batch_bench(benchmark, body)
+
+
 def test_world_spinup(benchmark):
     """SPMD launch + teardown (fixed cost behind every other number)."""
     def run():

@@ -12,7 +12,7 @@ from repro.bench import gups
 from repro.sim import perfmodel as pm
 
 
-@pytest.mark.parametrize("variant", ["upcxx", "upc"])
+@pytest.mark.parametrize("variant", ["upcxx", "upcxx-element", "upc"])
 def test_gups_update_loop(benchmark, variant):
     result = {}
 
@@ -27,6 +27,9 @@ def test_gups_update_loop(benchmark, variant):
     attach_series(benchmark, "table4_paper", pm.PAPER_TABLE4)
     benchmark.extra_info["measured_gups_smp"] = result["r"].gups
     benchmark.extra_info["remote_fraction"] = result["r"].remote_fraction
+    # Coalescing: conduit ops issued by rank 0's update loop (the
+    # batched variant should be far below the per-element baselines).
+    benchmark.extra_info["conduit_ops_rank0"] = result["r"].conduit_ops
 
 
 def test_gups_verification_pass(benchmark):

@@ -88,7 +88,14 @@ def async_copy(src: GlobalPtr, dst: GlobalPtr, count: int,
     if event is not None:
         event.incref()
     handle = CopyHandle(0, event)
-    ctx.outstanding_copies.append(handle)
+    # Prune already-completed handles (completed via .wait() or an
+    # event) so programs that never call async_copy_fence() don't
+    # accumulate handles without bound.  In-place so a concurrently
+    # captured reference to the list (the fence) stays valid.
+    pending = ctx.outstanding_copies
+    if pending:
+        pending[:] = [h for h in pending if not h.done()]
+    pending.append(handle)
     handle.nbytes = _transfer(src, dst, count)
     handle._complete()
     return handle

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.world import current
 from repro.errors import BadPointer
 from repro.gasnet import rma
+from repro.gasnet.atomics import ATOMIC_OPS
 
 
 @dataclass(frozen=True, order=False)
@@ -170,15 +171,8 @@ class GlobalPtr:
         return f"GlobalPtr(rank={self.rank}, off={self.offset}, {self.dtype})"
 
 
-_ATOMIC_OPS = {
-    "xor": lambda old, v: old ^ v,
-    "add": lambda old, v: old + v,
-    "and": lambda old, v: old & v,
-    "or": lambda old, v: old | v,
-    "swap": lambda old, v: v,
-    "min": lambda old, v: old if old <= v else v,
-    "max": lambda old, v: old if old >= v else v,
-}
+# Shared with the batched RMA path (segment-side vectorized atomics).
+_ATOMIC_OPS = ATOMIC_OPS
 
 
 def null_ptr(dtype=np.uint8) -> GlobalPtr:

@@ -1,0 +1,50 @@
+"""Named atomic operations, shared by the scalar and batched RMA paths.
+
+``ATOMIC_OPS`` maps the public op names (``"xor"``, ``"add"``, ...) to
+scalar ``(old, operand) -> new`` callables — the form the per-element
+conduit contract (:meth:`Conduit.rma_atomic`) executes under the target's
+segment lock.
+
+``ATOMIC_UFUNCS`` maps the commutative subset to NumPy ufuncs so the
+batched path (:meth:`Segment.atomic_batch_update`) can apply a whole
+index vector with one ``ufunc.at`` call — which also handles duplicate
+indices correctly, unlike plain fancy-indexed assignment.  ``"swap"`` is
+deliberately absent: it is not commutative, so duplicate indices make
+the result order-dependent and the batch falls back to a sequential
+loop (still under a single lock acquisition).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PgasError
+
+#: name -> scalar (old, operand) -> new
+ATOMIC_OPS = {
+    "xor": lambda old, v: old ^ v,
+    "add": lambda old, v: old + v,
+    "and": lambda old, v: old & v,
+    "or": lambda old, v: old | v,
+    "swap": lambda old, v: v,
+    "min": lambda old, v: old if old <= v else v,
+    "max": lambda old, v: old if old >= v else v,
+}
+
+#: name -> commutative ufunc usable with ``ufunc.at`` (duplicate-safe)
+ATOMIC_UFUNCS = {
+    "xor": np.bitwise_xor,
+    "add": np.add,
+    "and": np.bitwise_and,
+    "or": np.bitwise_or,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+def resolve_scalar(op):
+    """Resolve an op name or callable to a scalar update callable."""
+    fn = ATOMIC_OPS.get(op, op)
+    if not callable(fn):
+        raise PgasError(f"unknown atomic op {op!r}")
+    return fn

@@ -8,6 +8,12 @@ A conduit moves bytes and active messages between ranks.  Its contracts:
   target; execution happens at the target's next progress call.
 * Point-to-point AM ordering between a fixed (src, dst) pair is FIFO —
   the guarantee GASNet provides and the runtime relies on.
+* ``rma_put_indexed``/``rma_get_indexed``/``rma_atomic_batch`` are the
+  **indexed bulk** primitives behind the batched RMA engine: one call
+  moves/updates a whole vector of same-rank elements.  The base class
+  supplies a generic per-element fallback, so every conduit supports
+  them; conduits able to do better (the SMP conduit's fancy-indexed
+  single-lock implementation) override them.
 """
 
 from __future__ import annotations
@@ -52,3 +58,55 @@ class Conduit(abc.ABC):
     def rma_atomic(self, src: int, dst: int, offset: int,
                    dtype: np.dtype, op, operand):
         """Atomically read-modify-write one element; returns old value."""
+
+    # -- indexed bulk RMA (batched engine) -------------------------------
+    #
+    # ``elem_offsets`` is an int64 array of *element* offsets relative to
+    # byte offset ``base`` in ``dst``'s segment: element k lives at byte
+    # ``base + elem_offsets[k] * dtype.itemsize``.  The defaults below
+    # loop over the scalar primitives so any conduit works unmodified.
+
+    def rma_put_indexed(self, src: int, dst: int, base: int,
+                        elem_offsets: np.ndarray, data: np.ndarray) -> None:
+        """Scatter ``data[k]`` to element offset ``elem_offsets[k]``."""
+        data = np.ascontiguousarray(data)
+        itemsize = data.dtype.itemsize
+        for off, val in zip(np.asarray(elem_offsets, dtype=np.int64), data):
+            self.rma_put(src, dst, base + int(off) * itemsize,
+                         np.asarray([val], dtype=data.dtype))
+
+    def rma_get_indexed(self, src: int, dst: int, base: int,
+                        dtype: np.dtype, elem_offsets: np.ndarray
+                        ) -> np.ndarray:
+        """Gather the elements at ``elem_offsets`` into a new array."""
+        dtype = np.dtype(dtype)
+        idx = np.asarray(elem_offsets, dtype=np.int64)
+        out = np.empty(idx.size, dtype=dtype)
+        for k, off in enumerate(idx):
+            out[k] = self.rma_get(
+                src, dst, base + int(off) * dtype.itemsize, dtype, 1
+            )[0]
+        return out
+
+    def rma_atomic_batch(self, src: int, dst: int, base: int,
+                         dtype: np.dtype, elem_offsets: np.ndarray,
+                         op, operands, return_old: bool = False):
+        """Read-modify-write every element of ``elem_offsets``.
+
+        ``op`` is an op name (``"xor"``, ``"add"``, ...) or a scalar
+        callable; ``operands`` broadcasts against ``elem_offsets``.
+        Elements are updated atomically; the batch as a whole need not
+        be.  Returns the old values when ``return_old`` is true.
+        """
+        from repro.gasnet.atomics import resolve_scalar
+
+        fn = resolve_scalar(op)
+        dtype = np.dtype(dtype)
+        idx = np.asarray(elem_offsets, dtype=np.int64)
+        ops = np.broadcast_to(np.asarray(operands, dtype=dtype), idx.shape)
+        old = np.empty(idx.size, dtype=dtype)
+        for k, off in enumerate(idx):
+            old[k] = self.rma_atomic(
+                src, dst, base + int(off) * dtype.itemsize, dtype, fn, ops[k]
+            )
+        return old if return_old else None

@@ -50,3 +50,49 @@ def atomic(ctx, dst_rank: int, offset: int, dtype: np.dtype, op, operand):
 def local_view(ctx, offset: int, dtype: np.dtype, count: int) -> np.ndarray:
     """Zero-copy typed view of the caller's own segment."""
     return ctx.segment.view(offset, dtype, count)
+
+
+# ---------------------------------------------------------------------------
+# indexed bulk RMA — the batched engine's entry points
+# ---------------------------------------------------------------------------
+
+def put_indexed(ctx, dst_rank: int, base: int, elem_offsets: np.ndarray,
+                data: np.ndarray) -> None:
+    """Scatter ``data[k]`` to element offset ``elem_offsets[k]`` (relative
+    to byte offset ``base``) in ``dst_rank``'s segment, as one operation."""
+    if dst_rank == ctx.rank:
+        ctx.stats.record_local(np.asarray(elem_offsets).size)
+        ctx.segment.typed_write_indexed(base, elem_offsets, data)
+    else:
+        ctx.world.conduit.rma_put_indexed(
+            ctx.rank, dst_rank, base, elem_offsets, data
+        )
+
+
+def get_indexed(ctx, dst_rank: int, base: int, dtype: np.dtype,
+                elem_offsets: np.ndarray) -> np.ndarray:
+    """Gather the elements at ``elem_offsets`` from ``dst_rank``'s segment
+    with one operation; returns an owned copy."""
+    if dst_rank == ctx.rank:
+        ctx.stats.record_local(np.asarray(elem_offsets).size)
+        return ctx.segment.typed_read_indexed(base, dtype, elem_offsets)
+    return ctx.world.conduit.rma_get_indexed(
+        ctx.rank, dst_rank, base, dtype, elem_offsets
+    )
+
+
+def atomic_batch(ctx, dst_rank: int, base: int, dtype: np.dtype,
+                 elem_offsets: np.ndarray, op, operands,
+                 return_old: bool = False):
+    """Batched read-modify-write: every element updated atomically, the
+    whole batch under a single target-lock acquisition on capable
+    conduits.  Returns old values when ``return_old`` is true."""
+    if dst_rank == ctx.rank:
+        ctx.stats.record_local(np.asarray(elem_offsets).size)
+        return ctx.segment.atomic_batch_update(
+            base, dtype, elem_offsets, op, operands, return_old
+        )
+    return ctx.world.conduit.rma_atomic_batch(
+        ctx.rank, dst_rank, base, dtype, elem_offsets, op, operands,
+        return_old,
+    )

@@ -20,6 +20,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.errors import BadPointer, SegmentOutOfMemory
+from repro.gasnet.atomics import ATOMIC_UFUNCS, resolve_scalar
 
 _ALIGN_DEFAULT = 8
 
@@ -205,6 +206,88 @@ class Segment:
             )
         return self.buf[offset : offset + nbytes].view(dtype)
 
+    # ------------------------------------------------------------------
+    # indexed (batched) access — the substrate of the batched RMA engine
+    # ------------------------------------------------------------------
+    def _indexed_view(self, base: int, dtype: np.dtype,
+                      elem_offsets) -> tuple[np.ndarray, np.ndarray]:
+        """A typed view covering all elements named by ``elem_offsets``
+        (element indices relative to byte offset ``base``), plus the
+        normalized index array.  Caller must hold :attr:`lock` while the
+        view is alive."""
+        dtype = np.dtype(dtype)
+        idx = np.asarray(elem_offsets, dtype=np.int64).reshape(-1)
+        if idx.size == 0:
+            return np.empty(0, dtype=dtype), idx
+        lo = int(idx.min())
+        if lo < 0:
+            raise BadPointer(
+                f"rank {self.rank}: negative element offset {lo} in batch"
+            )
+        extent = (int(idx.max()) + 1) * dtype.itemsize
+        self._check_range(base, extent)
+        if dtype.itemsize and base % dtype.itemsize:
+            raise BadPointer(
+                f"offset {base} misaligned for dtype {dtype} batch access"
+            )
+        return self.buf[base : base + extent].view(dtype), idx
+
+    def typed_read_indexed(self, base: int, dtype: np.dtype,
+                           elem_offsets) -> np.ndarray:
+        """Gather the elements at ``base + elem_offsets[k] * itemsize``
+        with one lock acquisition (returns an owned copy)."""
+        with self.lock:
+            view, idx = self._indexed_view(base, dtype, elem_offsets)
+            return view[idx]  # fancy indexing copies
+
+    def typed_write_indexed(self, base: int, elem_offsets,
+                            data: np.ndarray) -> None:
+        """Scatter ``data`` to ``base + elem_offsets[k] * itemsize`` with
+        one lock acquisition.  With duplicate offsets the surviving value
+        is unspecified (as for NumPy fancy assignment)."""
+        data = np.asarray(data)
+        with self.lock:
+            view, idx = self._indexed_view(base, data.dtype, elem_offsets)
+            view[idx] = data.reshape(-1)
+
+    def atomic_batch_update(self, base: int, dtype: np.dtype, elem_offsets,
+                            op, operands, return_old: bool = False):
+        """Apply one read-modify-write per element of ``elem_offsets``
+        under a *single* segment-lock acquisition.
+
+        ``op`` is an op name (see :mod:`repro.gasnet.atomics`) or a scalar
+        callable.  Named commutative ops are applied vectorized with
+        ``ufunc.at`` (duplicate-index safe); callables, ``"swap"`` with
+        duplicates, and old-value requests over duplicates fall back to a
+        sequential in-lock loop, preserving issue-order semantics.
+        Returns the array of old values when ``return_old`` is true.
+        """
+        dtype = np.dtype(dtype)
+        with self.lock:
+            view, idx = self._indexed_view(base, dtype, elem_offsets)
+            if idx.size == 0:
+                return np.empty(0, dtype=dtype) if return_old else None
+            ops = np.broadcast_to(
+                np.asarray(operands, dtype=dtype), idx.shape
+            )
+            ufunc = ATOMIC_UFUNCS.get(op) if isinstance(op, str) else None
+            with np.errstate(over="ignore"):
+                if ufunc is not None and not return_old:
+                    ufunc.at(view, idx, ops)
+                    return None
+                unique = np.unique(idx).size == idx.size
+                if unique and (ufunc is not None or op == "swap"):
+                    old = view[idx]  # copy
+                    view[idx] = ufunc(old, ops) if ufunc is not None else ops
+                    return old if return_old else None
+                fn = resolve_scalar(op)
+                old = np.empty(idx.shape, dtype=dtype)
+                for k in range(idx.size):
+                    cur = view[idx[k]].copy()
+                    old[k] = cur
+                    view[idx[k]] = fn(cur, ops[k])
+                return old if return_old else None
+
     def atomic_update(self, offset: int, dtype: np.dtype, op, operand):
         """Read-modify-write one element under the segment lock.
 
@@ -216,5 +299,6 @@ class Segment:
         with self.lock:
             cell = self.buf[offset : offset + dtype.itemsize].view(dtype)
             old = cell[0].copy()
-            cell[0] = op(old, operand)
+            with np.errstate(over="ignore"):  # wraparound, as in batches
+                cell[0] = op(old, operand)
         return old

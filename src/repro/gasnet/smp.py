@@ -65,3 +65,35 @@ class SmpConduit(Conduit):
         target = self._rank(dst)
         self._rank(src).stats.record_atomic()
         return target.segment.atomic_update(offset, dtype, op, operand)
+
+    # -- indexed bulk RMA -------------------------------------------------
+    # One conduit call + one target-lock acquisition per batch: the
+    # "wire" carries a whole index vector, modelling NIC gather/scatter.
+
+    def rma_put_indexed(self, src: int, dst: int, base: int,
+                        elem_offsets: np.ndarray, data: np.ndarray) -> None:
+        target = self._rank(dst)
+        raw = np.ascontiguousarray(data)
+        self._rank(src).stats.record_put_indexed(
+            np.asarray(elem_offsets).size, raw.nbytes
+        )
+        target.segment.typed_write_indexed(base, elem_offsets, raw)
+
+    def rma_get_indexed(self, src: int, dst: int, base: int,
+                        dtype: np.dtype, elem_offsets: np.ndarray
+                        ) -> np.ndarray:
+        target = self._rank(dst)
+        out = target.segment.typed_read_indexed(base, dtype, elem_offsets)
+        self._rank(src).stats.record_get_indexed(out.size, out.nbytes)
+        return out
+
+    def rma_atomic_batch(self, src: int, dst: int, base: int,
+                         dtype: np.dtype, elem_offsets: np.ndarray,
+                         op, operands, return_old: bool = False):
+        target = self._rank(dst)
+        self._rank(src).stats.record_atomic_batch(
+            np.asarray(elem_offsets).size
+        )
+        return target.segment.atomic_batch_update(
+            base, dtype, elem_offsets, op, operands, return_old
+        )

@@ -25,6 +25,11 @@ class CommStats:
     gets: int = 0
     get_bytes: int = 0
     atomics: int = 0
+    # Batched (indexed) RMA: one conduit op covering many elements.
+    puts_indexed: int = 0
+    gets_indexed: int = 0
+    atomic_batches: int = 0
+    batched_elements: int = 0
     ams_sent: int = 0
     am_bytes: int = 0
     ams_handled: int = 0
@@ -52,6 +57,29 @@ class CommStats:
             self.atomics += 1
             self.remote_accesses += 1
 
+    # Batched ops count once as a conduit operation but per-element as
+    # remote accesses, so access-locality metrics (e.g. GUPS
+    # remote_fraction) stay comparable across batched and scalar paths.
+    def record_put_indexed(self, count: int, nbytes: int) -> None:
+        with self._lock:
+            self.puts_indexed += 1
+            self.put_bytes += nbytes
+            self.batched_elements += count
+            self.remote_accesses += count
+
+    def record_get_indexed(self, count: int, nbytes: int) -> None:
+        with self._lock:
+            self.gets_indexed += 1
+            self.get_bytes += nbytes
+            self.batched_elements += count
+            self.remote_accesses += count
+
+    def record_atomic_batch(self, count: int) -> None:
+        with self._lock:
+            self.atomic_batches += 1
+            self.batched_elements += count
+            self.remote_accesses += count
+
     def record_am(self, nbytes: int) -> None:
         with self._lock:
             self.ams_sent += 1
@@ -73,15 +101,29 @@ class CommStats:
         with self._lock:
             self.collectives += 1
 
-    def record_local(self) -> None:
+    def record_local(self, count: int = 1) -> None:
         with self._lock:
-            self.local_accesses += 1
+            self.local_accesses += count
 
     # ------------------------------------------------------------------
     @property
     def messages(self) -> int:
         """Total injected network operations (RMA + AMs + replies)."""
-        return self.puts + self.gets + self.atomics + self.ams_sent
+        return (self.puts + self.gets + self.atomics + self.ams_sent
+                + self.batched_ops)
+
+    @property
+    def batched_ops(self) -> int:
+        """Indexed bulk conduit operations (each covers many elements)."""
+        return self.puts_indexed + self.gets_indexed + self.atomic_batches
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Average elements carried per batched conduit op (0.0 when no
+        batched ops were issued) — how many scalar RMAs each batch
+        replaced."""
+        ops = self.batched_ops
+        return self.batched_elements / ops if ops else 0.0
 
     @property
     def bytes_moved(self) -> int:
@@ -96,6 +138,10 @@ class CommStats:
                 "gets": self.gets,
                 "get_bytes": self.get_bytes,
                 "atomics": self.atomics,
+                "puts_indexed": self.puts_indexed,
+                "gets_indexed": self.gets_indexed,
+                "atomic_batches": self.atomic_batches,
+                "batched_elements": self.batched_elements,
                 "ams_sent": self.ams_sent,
                 "am_bytes": self.am_bytes,
                 "ams_handled": self.ams_handled,
@@ -111,6 +157,8 @@ class CommStats:
             self.puts = self.put_bytes = 0
             self.gets = self.get_bytes = 0
             self.atomics = 0
+            self.puts_indexed = self.gets_indexed = 0
+            self.atomic_batches = self.batched_elements = 0
             self.ams_sent = self.am_bytes = 0
             self.ams_handled = self.replies_sent = 0
             self.barriers = self.collectives = 0

@@ -35,7 +35,8 @@ class TraceEvent:
     """One recorded communication operation."""
 
     t: float          # seconds since trace start
-    kind: str         # "put" | "get" | "atomic" | "am" | "reply"
+    kind: str         # "put" | "get" | "atomic" | "put_indexed"
+                      # | "get_indexed" | "atomic_batch" | "am" | "reply"
     src: int
     dst: int
     nbytes: int
@@ -78,6 +79,33 @@ class _TracingConduit:
                             np.dtype(dtype).itemsize)
         return self._inner.rma_atomic(src, dst, offset, dtype, op,
                                       operand)
+
+    def rma_put_indexed(self, src: int, dst: int, base: int,
+                        elem_offsets, data) -> None:
+        arr = np.asarray(data)
+        self._trace._record("put_indexed", src, dst, arr.nbytes,
+                            detail=f"{np.asarray(elem_offsets).size} elems")
+        self._inner.rma_put_indexed(src, dst, base, elem_offsets, data)
+
+    def rma_get_indexed(self, src: int, dst: int, base: int, dtype,
+                        elem_offsets):
+        n = np.asarray(elem_offsets).size
+        self._trace._record("get_indexed", src, dst,
+                            np.dtype(dtype).itemsize * n,
+                            detail=f"{n} elems")
+        return self._inner.rma_get_indexed(src, dst, base, dtype,
+                                           elem_offsets)
+
+    def rma_atomic_batch(self, src: int, dst: int, base: int, dtype,
+                         elem_offsets, op, operands,
+                         return_old: bool = False):
+        n = np.asarray(elem_offsets).size
+        self._trace._record("atomic_batch", src, dst,
+                            np.dtype(dtype).itemsize * n,
+                            detail=f"{n} elems")
+        return self._inner.rma_atomic_batch(
+            src, dst, base, dtype, elem_offsets, op, operands, return_old
+        )
 
     def __getattr__(self, name):  # delegate the rest (fail_next_am, ...)
         return getattr(self._inner, name)

@@ -23,6 +23,20 @@ def splitmix64(x: int) -> int:
     return (z ^ (z >> 31)) & _MASK64
 
 
+def splitmix64_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`splitmix64` over a uint64 array.
+
+    Bit-exact with the scalar version (wrap-around multiplies), so the
+    batched GUPS kernel indexes the same table slots as the per-element
+    path."""
+    z = np.asarray(x, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        z = z + np.uint64(_SPLITMIX_GAMMA)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return z ^ (z >> np.uint64(31))
+
+
 def mt_seed_for_rank(base_seed: int, rank: int) -> np.random.Generator:
     """A per-rank Mersenne-Twister-family generator.
 

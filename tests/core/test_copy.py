@@ -153,3 +153,24 @@ def test_upc_memcpy_table1_idiom():
         return True
 
     assert all(run_spmd(body, ranks=2))
+
+
+def test_outstanding_copies_pruned_without_fence():
+    """Handle-only programs (never calling async_copy_fence) must not
+    accumulate completed handles without bound."""
+    def body():
+        me = repro.myrank()
+        if me == 0:
+            ctx = repro.current_world().ranks[0]
+            s = repro.allocate(0, 8, np.float64)
+            d = repro.allocate(1, 8, np.float64)
+            for _ in range(100):
+                repro.async_copy(s, d, 8).wait()
+            # completed handles are dropped at the next issue, not leaked
+            assert len(ctx.outstanding_copies) <= 1
+            repro.async_copy_fence()
+            assert len(ctx.outstanding_copies) == 0
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
