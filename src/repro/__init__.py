@@ -51,6 +51,7 @@ from repro.core import (
     copy,
     current_world,
     deallocate,
+    die,
     escalate,
     fence,
     finish,
@@ -66,8 +67,10 @@ from repro.errors import (
     NotInSpmdRegion,
     PeerFailure,
     PgasError,
+    RankDead,
     SegmentOutOfMemory,
     SerializationError,
+    TransientCommError,
 )
 
 __version__ = "0.1.0"
@@ -82,5 +85,6 @@ __all__ = [
     "Team", "GlobalLock", "collectives", "DistWorkQueue",
     "PgasError", "NotInSpmdRegion", "PeerFailure", "SegmentOutOfMemory",
     "BadPointer", "CommTimeout", "SerializationError", "DomainError",
+    "TransientCommError", "RankDead", "die",
     "__version__",
 ]

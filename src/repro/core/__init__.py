@@ -4,7 +4,9 @@ Public names are re-exported at the top level (:mod:`repro`); this
 package holds the implementation, organized as in DESIGN.md §3.
 """
 
-from repro.core.world import World, RankState, spmd, current, try_current
+from repro.core.world import (
+    World, RankState, spmd, current, try_current, die,
+)
 from repro.core.api import (
     myrank,
     ranks,
@@ -31,7 +33,7 @@ from repro.core.directory import Directory
 from repro.core.workqueue import DistWorkQueue
 
 __all__ = [
-    "World", "RankState", "spmd", "current", "try_current",
+    "World", "RankState", "spmd", "current", "try_current", "die",
     "myrank", "ranks", "MYTHREAD", "THREADS",
     "barrier", "fence", "advance", "current_world",
     "GlobalPtr", "null_ptr", "allocate", "deallocate", "escalate",

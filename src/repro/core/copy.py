@@ -45,9 +45,17 @@ class CopyHandle:
     def done(self) -> bool:
         return self._done
 
-    def wait(self) -> None:
-        """Block until this specific copy completed."""
-        current().wait_until(lambda: self._done, what="async_copy")
+    def wait(self, timeout: float | None = None) -> None:
+        """Block until this specific copy completed.
+
+        ``timeout`` defaults to the world's ``op_timeout``; on expiry a
+        :class:`~repro.errors.CommTimeout` is raised (and a peer failure
+        while waiting raises :class:`~repro.errors.PeerFailure`), like
+        every other blocking runtime call.
+        """
+        current().wait_until(
+            lambda: self._done, what="async_copy", timeout=timeout
+        )
 
 
 def _transfer(src: GlobalPtr, dst: GlobalPtr, count: int) -> int:

@@ -17,7 +17,7 @@ from collections import deque
 
 from repro.core import collectives
 from repro.core.world import RankState, current
-from repro.errors import PgasError
+from repro.errors import CommTimeout, PgasError
 from repro.gasnet.am import am_handler
 
 
@@ -81,15 +81,32 @@ class GlobalLock:
             lock_id = next(ctx.world._lock_ids)
         self.lock_id = collectives.bcast(lock_id, root=owner)
 
-    def acquire(self, block: bool = True) -> bool:
+    def acquire(self, block: bool = True,
+                timeout: float | None = None) -> bool:
         """Acquire the lock; with ``block=False`` behaves like
-        ``upc_lock_attempt`` (returns False when busy)."""
+        ``upc_lock_attempt`` (returns False when busy).
+
+        A blocking acquire waits at most ``timeout`` seconds (default:
+        the world's ``op_timeout``) and then raises
+        :class:`~repro.errors.CommTimeout` naming the lock — the holder
+        may be wedged.  If the holder (or the owner rank) *dies* while we
+        queue, the failure detector fails the world and the pending
+        acquire raises :class:`~repro.errors.PeerFailure` instead of
+        blocking forever.
+        """
         ctx = current()
         handler = "lock_acquire" if block else "lock_try"
         fut = ctx.send_am(
             self.owner, handler, args=(self.lock_id,), expect_reply=True
         )
-        (status, *_rest), _payload = fut.get()
+        try:
+            (status, *_rest), _payload = fut.get(timeout=timeout)
+        except CommTimeout as exc:
+            raise CommTimeout(
+                f"rank {ctx.rank}: acquire of lock {self.lock_id} "
+                f"(owner rank {self.owner}) timed out — holder wedged "
+                f"or grant lost ({exc})"
+            ) from exc
         return status == "granted"
 
     def release(self) -> None:

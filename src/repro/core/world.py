@@ -31,6 +31,7 @@ from repro.errors import (
     NotInSpmdRegion,
     PeerFailure,
     PgasError,
+    RankDead,
 )
 from repro.gasnet.am import ActiveMessage, handler_registry, make_reply
 from repro.gasnet.segment import Segment
@@ -107,6 +108,12 @@ class RankState:
         # Free-form per-rank scratch space for applications/benchmarks.
         self.scratch: dict[str, Any] = {}
         self.done = False
+        #: Set when this rank "crashed" (see :func:`die`); the failure
+        #: detector converts it into a PeerFailure on every other rank.
+        self.dead = False
+        #: Stamped on every progress call — the liveness signal the
+        #: world-level heartbeat failure detector watches.
+        self.last_heartbeat = time.monotonic()
 
     # -- messaging ------------------------------------------------------
     def deliver(self, am: ActiveMessage) -> None:
@@ -169,6 +176,7 @@ class RankState:
         ``advance()``: user code may call it explicitly; every blocking
         runtime operation calls it while waiting.
         """
+        self.last_heartbeat = time.monotonic()
         progressed = False
         handled = 0
         while max_items is None or handled < max_items:
@@ -193,6 +201,12 @@ class RankState:
                 with self._pending_lock:
                     fut = self._pending.pop(am.token, None)
                 if fut is None:
+                    # Under the reliability layer a reply can legally
+                    # arrive after the op's deadline already completed
+                    # its future with CommTimeout — drop it, counted.
+                    if getattr(self.world, "_reliable", None) is not None:
+                        self.stats.record_stale_reply()
+                        return
                     raise PgasError(
                         f"rank {self.rank}: reply for unknown token {am.token}"
                     )
@@ -315,7 +329,25 @@ class _RendezvousSlot:
 
 
 class World:
-    """One SPMD execution: ``n_ranks`` ranks over a conduit."""
+    """One SPMD execution: ``n_ranks`` ranks over a conduit.
+
+    Reliability knobs
+    -----------------
+    ``reliability``:
+        ``None`` (default) uses the conduit as-is.  Anything else wraps
+        the conduit in :class:`~repro.gasnet.reliability.ReliableConduit`:
+        ``True`` for the default config, a dict of
+        :class:`~repro.gasnet.reliability.ReliabilityConfig` fields, or a
+        ready config/conduit instance.
+    ``heartbeat_timeout``:
+        When set, a world-level failure detector declares any rank that
+        makes no runtime progress for this many seconds (or that called
+        :func:`die`) dead, failing the world with
+        :class:`~repro.errors.RankDead` so blocked peers raise
+        :class:`~repro.errors.PeerFailure` instead of hanging.  Must
+        exceed the longest pure-compute (non-communicating) phase of the
+        program.  ``heartbeat_period`` is the detector's polling period.
+    """
 
     def __init__(
         self,
@@ -324,6 +356,9 @@ class World:
         conduit=None,
         thread_mode: str = "serialized",
         op_timeout: float | None = 60.0,
+        reliability=None,
+        heartbeat_timeout: float | None = None,
+        heartbeat_period: float = 0.02,
     ):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
@@ -333,7 +368,15 @@ class World:
         self.n_ranks = n_ranks
         self.thread_mode = thread_mode
         self.op_timeout = op_timeout
-        self.conduit = conduit if conduit is not None else SmpConduit()
+        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_period = heartbeat_period
+        conduit = conduit if conduit is not None else SmpConduit()
+        #: Set by ReliableConduit.attach; consulted by the AM layer to
+        #: tolerate post-deadline (stale) replies.
+        self._reliable = None
+        if reliability is not None and reliability is not False:
+            conduit = _wrap_reliable(conduit, reliability)
+        self.conduit = conduit
         self.ranks = [RankState(self, r, segment_size) for r in range(n_ranks)]
         self.conduit.attach(self)
         self._glock = threading.Lock()
@@ -343,6 +386,14 @@ class World:
         self._dir_ids = itertools.count(1)
         self._progress_stop = threading.Event()
         self._progress_thread: threading.Thread | None = None
+        self._detector_stop = threading.Event()
+        self._detector_thread: threading.Thread | None = None
+        if heartbeat_timeout is not None:
+            self._detector_thread = threading.Thread(
+                target=self._failure_detector_main,
+                name=f"pgas-detector-{self.id}", daemon=True,
+            )
+            self._detector_thread.start()
 
     # -- failure propagation ------------------------------------------------
     @property
@@ -415,12 +466,44 @@ class World:
             self._progress_thread.join(timeout=5.0)
             self._progress_thread = None
 
+    # -- failure detector (heartbeat liveness) -------------------------------
+    def stop_failure_detector(self) -> None:
+        self._detector_stop.set()
+        if self._detector_thread is not None:
+            self._detector_thread.join(timeout=5.0)
+            self._detector_thread = None
+
+    def _failure_detector_main(self) -> None:
+        """Declare ranks that stop making progress dead (converted to
+        PeerFailure on every blocked peer) instead of letting the world
+        hang until the op timeout."""
+        while not self._detector_stop.wait(self.heartbeat_period):
+            if self._failure is not None:
+                return
+            now = time.monotonic()
+            for rk in self.ranks:
+                if rk.done:
+                    continue
+                if rk.dead:
+                    self.fail(rk.rank, RankDead(
+                        f"rank {rk.rank} died (simulated crash)"
+                    ))
+                    return
+                silent = now - rk.last_heartbeat
+                if silent > self.heartbeat_timeout:
+                    self.fail(rk.rank, RankDead(
+                        f"rank {rk.rank} made no runtime progress for "
+                        f"{silent:.2f}s (heartbeat_timeout="
+                        f"{self.heartbeat_timeout}s)"
+                    ))
+                    return
+
     def _progress_main(self) -> None:
         """Drain inboxes of busy ranks (the paper's worker Pthread)."""
         while not self._progress_stop.is_set():
             progressed = False
             for rank in self.ranks:
-                if rank.done:
+                if rank.done or rank.dead:
                     continue
                 try:
                     progressed |= rank.advance(max_items=16)
@@ -428,6 +511,45 @@ class World:
                     pass  # failure already recorded via world.fail
             if not progressed:
                 time.sleep(0.0005)
+
+
+def _wrap_reliable(conduit, reliability):
+    """Resolve the World ``reliability=`` knob into a ReliableConduit."""
+    from repro.gasnet.reliability import ReliabilityConfig, ReliableConduit
+
+    if isinstance(conduit, ReliableConduit):
+        return conduit  # already wrapped; the knob is a no-op
+    if isinstance(reliability, ReliableConduit):
+        raise PgasError(
+            "pass a ReliableConduit via conduit=, not reliability="
+        )
+    if reliability is True:
+        return ReliableConduit(conduit)
+    if isinstance(reliability, ReliabilityConfig):
+        return ReliableConduit(conduit, config=reliability)
+    if isinstance(reliability, dict):
+        return ReliableConduit(conduit, **reliability)
+    raise PgasError(
+        f"reliability= must be True, a dict of ReliabilityConfig fields, "
+        f"or a ReliabilityConfig (got {reliability!r})"
+    )
+
+
+class _RankKilled(BaseException):
+    """Internal control-flow exception: unwinds a rank that called
+    :func:`die` without reporting a failure (it simulates a crash)."""
+
+
+def die() -> None:
+    """Simulate the calling rank crashing: it stops executing *without*
+    reporting an error, exactly like a killed process.  Detection is the
+    failure detector's job (``World(heartbeat_timeout=...)`` or the
+    reliable conduit's peer heartbeats); peers then observe
+    :class:`~repro.errors.PeerFailure` instead of hanging."""
+    ctx = current()
+    ctx.dead = True
+    ctx.world.poke_all()
+    raise _RankKilled()
 
 
 def kind_base(kind: str) -> str:
@@ -447,6 +569,9 @@ def spmd(
     conduit=None,
     thread_mode: str = "serialized",
     timeout: float | None = 60.0,
+    reliability=None,
+    heartbeat_timeout: float | None = None,
+    heartbeat_period: float = 0.02,
 ) -> list:
     """Run ``fn`` in SPMD style on ``ranks`` ranks; return per-rank results.
 
@@ -465,6 +590,8 @@ def spmd(
     world = World(
         ranks, segment_size=segment_size, conduit=conduit,
         thread_mode=thread_mode, op_timeout=timeout,
+        reliability=reliability, heartbeat_timeout=heartbeat_timeout,
+        heartbeat_period=heartbeat_period,
     )
     results: list = [None] * ranks
     secondary: list[BaseException | None] = [None] * ranks
@@ -481,13 +608,17 @@ def spmd(
             from repro.core.collectives import barrier as _finalize
 
             _finalize()
+        except _RankKilled:
+            pass  # simulated crash: disappear without reporting
         except BaseException as exc:
             if isinstance(exc, PeerFailure):
                 secondary[r] = exc
             else:
                 world.fail(r, exc)
         finally:
-            ctx.done = True
+            # A dead rank must not look "finished" — the failure
+            # detector distinguishes the two.
+            ctx.done = not ctx.dead
             _tls.ctx = None
 
     if thread_mode == "concurrent":
@@ -517,6 +648,7 @@ def spmd(
             )
     finally:
         world.stop_progress_thread()
+        world.stop_failure_detector()
         close = getattr(world.conduit, "close", None)
         if callable(close):
             close()

@@ -50,6 +50,19 @@ class CommTimeout(PgasError):
     """A blocking communication operation exceeded its deadline."""
 
 
+class TransientCommError(PgasError):
+    """A conduit operation failed transiently (lost packet, NIC hiccup,
+    unreachable peer).  Retryable: the reliability layer
+    (:mod:`repro.gasnet.reliability`) retries these with backoff; without
+    that layer they surface to the caller."""
+
+
+class RankDead(PgasError):
+    """A rank was declared dead by a failure detector (missed heartbeats
+    or a simulated crash).  Peers blocked on the dead rank observe it as
+    the ``original`` of a :class:`PeerFailure`."""
+
+
 class SerializationError(PgasError):
     """Arguments of a remote task could not be serialized."""
 

@@ -23,6 +23,8 @@ from repro.gasnet.am import ActiveMessage, am_handler, handler_registry
 from repro.gasnet.conduit import Conduit
 from repro.gasnet.smp import SmpConduit
 from repro.gasnet.delay import DelayConduit
+from repro.gasnet.chaos import ChaosConduit
+from repro.gasnet.reliability import ReliabilityConfig, ReliableConduit
 from repro.gasnet.stats import CommStats
 from repro.gasnet.trace import Trace, TraceEvent
 
@@ -34,6 +36,9 @@ __all__ = [
     "Conduit",
     "SmpConduit",
     "DelayConduit",
+    "ChaosConduit",
+    "ReliableConduit",
+    "ReliabilityConfig",
     "CommStats",
     "Trace",
     "TraceEvent",

@@ -1,0 +1,231 @@
+"""A lossy, failing conduit for reliability hardening.
+
+:class:`DelayConduit` scrambles message *timing*; :class:`ChaosConduit`
+breaks the transport's *contract*.  Under a seeded RNG it
+
+* **drops** active messages (silently — the classic lost packet),
+* **duplicates** them (at-least-once delivery),
+* **reorders** adjacent messages of the same (src, dst) pair, violating
+  the pairwise-FIFO guarantee GASNet normally provides,
+* raises :class:`~repro.errors.TransientCommError` from the one-sided
+  RMA primitives (``rma_put``/``rma_get``/``rma_atomic`` and the indexed
+  bulk ops) — either *before* the operation applies (nothing happened)
+  or *after* it applied (the completion was lost, the dangerous case for
+  non-idempotent atomics),
+* can sever one rank's connectivity mid-run (:meth:`kill_rank`): all
+  traffic to and from that rank is black-holed.
+
+The runtime's constructs assume reliable FIFO delivery and would corrupt
+state or deadlock directly on this conduit; the point is to run them
+through :class:`~repro.gasnet.reliability.ReliableConduit` wrapped around
+this one and prove the stack survives.  Injected events are counted in
+:class:`~repro.gasnet.stats.CommStats` (``chaos_drops``/``chaos_dups``/
+``chaos_faults``) and reported to an active :class:`~repro.gasnet.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import TransientCommError
+from repro.gasnet.am import ActiveMessage
+from repro.gasnet.smp import SmpConduit
+
+
+class ChaosConduit(SmpConduit):
+    """SMP conduit + seeded drop/dup/reorder/fault/partition injection.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; a fixed seed gives a reproducible fault *mix* (exact
+        interleaving still depends on thread scheduling).
+    am_drop_rate, am_dup_rate, am_reorder_rate:
+        Per-message probabilities of dropping, duplicating, or holding a
+        message back past its successor (pairwise-FIFO violation).
+    rma_fault_rate:
+        Per-operation probability that an RMA primitive raises
+        :class:`TransientCommError`; half the faults fire *after* the
+        operation applied at the target.
+    """
+
+    def __init__(self, seed: int = 0, am_drop_rate: float = 0.0,
+                 am_dup_rate: float = 0.0, am_reorder_rate: float = 0.0,
+                 rma_fault_rate: float = 0.0):
+        super().__init__()
+        self.am_drop_rate = float(am_drop_rate)
+        self.am_dup_rate = float(am_dup_rate)
+        self.am_reorder_rate = float(am_reorder_rate)
+        self.rma_fault_rate = float(rma_fault_rate)
+        self._rng = np.random.default_rng(seed)
+        self._chaos_lock = threading.Lock()
+        #: One held-back message per (src, dst) pair, delivered *after*
+        #: the next message to the pair — a pairwise-FIFO violation.
+        self._held: dict[tuple[int, int], ActiveMessage] = {}
+        self._killed: set[int] = set()
+
+    # -- failure control ---------------------------------------------------
+    def kill_rank(self, rank: int) -> None:
+        """Sever ``rank``'s connectivity: every AM and RMA to or from it
+        is dropped/raises from now on (the rank's thread keeps running —
+        it is partitioned, not stopped)."""
+        with self._chaos_lock:
+            self._killed.add(rank)
+            self._held = {
+                k: v for k, v in self._held.items()
+                if rank not in k
+            }
+
+    def is_killed(self, rank: int) -> bool:
+        with self._chaos_lock:
+            return rank in self._killed
+
+    # -- helpers -----------------------------------------------------------
+    def _trace_control(self, kind: str, src: int, dst: int,
+                       nbytes: int = 0, detail: str = "") -> None:
+        hook = None
+        if self.world is not None:
+            hook = getattr(self.world.conduit, "trace_control", None)
+        if hook is not None:
+            try:
+                hook(kind, src, dst, nbytes, detail)
+            except Exception:  # tracing must never break the transport
+                pass
+
+    def _fault_point(self, kind: str, src: int, dst: int) -> str | None:
+        """Roll the RMA fault dice; returns None | "pre" | "post".
+
+        Raises immediately when either endpoint is partitioned.
+        """
+        with self._chaos_lock:
+            if src in self._killed or dst in self._killed:
+                bad = dst if dst in self._killed else src
+                raise TransientCommError(
+                    f"chaos: rank {bad} unreachable ({kind} {src}->{dst})"
+                )
+            if float(self._rng.random()) >= self.rma_fault_rate:
+                return None
+            when = "pre" if float(self._rng.random()) < 0.5 else "post"
+        self._rank(src).stats.record_chaos_fault()
+        self._trace_control("chaos_fault", src, dst, detail=f"{kind}:{when}")
+        return when
+
+    def _raise_fault(self, kind: str, src: int, dst: int, when: str):
+        raise TransientCommError(
+            f"chaos: transient {kind} fault {src}->{dst} ({when}-completion)"
+        )
+
+    # -- active messages ---------------------------------------------------
+    def send_am(self, src: int, dst: int, am: ActiveMessage) -> None:
+        if self.fail_next_am is not None:
+            exc, self.fail_next_am = self.fail_next_am, None
+            raise exc
+        self._rank(src).stats.record_am(am.wire_bytes)
+        if src == dst:  # loopback is reliable on any real transport
+            self._rank(dst).deliver(am)
+            return
+        to_deliver: list[ActiveMessage] = []
+        dropped = duplicated = held_now = False
+        with self._chaos_lock:
+            held_prev = self._held.pop((src, dst), None)
+            if src in self._killed or dst in self._killed:
+                dropped = True
+                held_prev = None  # partitioned: the held message dies too
+            else:
+                r_drop, r_dup, r_hold = (
+                    float(self._rng.random()) for _ in range(3)
+                )
+                if r_drop < self.am_drop_rate:
+                    dropped = True
+                elif held_prev is None and r_hold < self.am_reorder_rate:
+                    self._held[(src, dst)] = am
+                    held_now = True
+                else:
+                    to_deliver.append(am)
+                    if r_dup < self.am_dup_rate:
+                        to_deliver.append(am)
+                        duplicated = True
+            if held_prev is not None:
+                to_deliver.append(held_prev)  # after its successor: reorder
+        if dropped:
+            self._rank(src).stats.record_chaos_drop()
+            self._trace_control("chaos_drop", src, dst, am.wire_bytes,
+                                detail=am.handler)
+        if duplicated:
+            self._rank(src).stats.record_chaos_dup()
+            self._trace_control("chaos_dup", src, dst, am.wire_bytes,
+                                detail=am.handler)
+        if held_now:
+            self._trace_control("chaos_reorder", src, dst, am.wire_bytes,
+                                detail=am.handler)
+        for m in to_deliver:
+            self._rank(dst).deliver(m)
+
+    # -- one-sided RMA -----------------------------------------------------
+    def rma_put(self, src: int, dst: int, offset: int,
+                data: np.ndarray) -> None:
+        when = self._fault_point("put", src, dst)
+        if when == "pre":
+            self._raise_fault("put", src, dst, when)
+        super().rma_put(src, dst, offset, data)
+        if when == "post":
+            self._raise_fault("put", src, dst, when)
+
+    def rma_get(self, src: int, dst: int, offset: int,
+                dtype: np.dtype, count: int) -> np.ndarray:
+        when = self._fault_point("get", src, dst)
+        if when == "pre":
+            self._raise_fault("get", src, dst, when)
+        out = super().rma_get(src, dst, offset, dtype, count)
+        if when == "post":
+            self._raise_fault("get", src, dst, when)
+        return out
+
+    def rma_atomic(self, src: int, dst: int, offset: int,
+                   dtype: np.dtype, op, operand):
+        when = self._fault_point("atomic", src, dst)
+        if when == "pre":
+            self._raise_fault("atomic", src, dst, when)
+        old = super().rma_atomic(src, dst, offset, dtype, op, operand)
+        if when == "post":
+            # The update applied; the "completion" is lost.  A naive
+            # retry would double-apply — exactly what the reliability
+            # layer's op-id guard must prevent.
+            self._raise_fault("atomic", src, dst, when)
+        return old
+
+    # -- indexed bulk RMA --------------------------------------------------
+    def rma_put_indexed(self, src: int, dst: int, base: int,
+                        elem_offsets: np.ndarray, data: np.ndarray) -> None:
+        when = self._fault_point("put_indexed", src, dst)
+        if when == "pre":
+            self._raise_fault("put_indexed", src, dst, when)
+        super().rma_put_indexed(src, dst, base, elem_offsets, data)
+        if when == "post":
+            self._raise_fault("put_indexed", src, dst, when)
+
+    def rma_get_indexed(self, src: int, dst: int, base: int,
+                        dtype: np.dtype, elem_offsets: np.ndarray
+                        ) -> np.ndarray:
+        when = self._fault_point("get_indexed", src, dst)
+        if when == "pre":
+            self._raise_fault("get_indexed", src, dst, when)
+        out = super().rma_get_indexed(src, dst, base, dtype, elem_offsets)
+        if when == "post":
+            self._raise_fault("get_indexed", src, dst, when)
+        return out
+
+    def rma_atomic_batch(self, src: int, dst: int, base: int,
+                         dtype: np.dtype, elem_offsets: np.ndarray,
+                         op, operands, return_old: bool = False):
+        when = self._fault_point("atomic_batch", src, dst)
+        if when == "pre":
+            self._raise_fault("atomic_batch", src, dst, when)
+        old = super().rma_atomic_batch(
+            src, dst, base, dtype, elem_offsets, op, operands, return_old
+        )
+        if when == "post":
+            self._raise_fault("atomic_batch", src, dst, when)
+        return old

@@ -14,6 +14,14 @@ A conduit moves bytes and active messages between ranks.  Its contracts:
   supplies a generic per-element fallback, so every conduit supports
   them; conduits able to do better (the SMP conduit's fancy-indexed
   single-lock implementation) override them.
+
+The FIFO and exactly-once guarantees are what the *runtime* relies on;
+a conduit that cannot provide them natively (e.g.
+:class:`~repro.gasnet.chaos.ChaosConduit`, which drops/duplicates/
+reorders and raises :class:`~repro.errors.TransientCommError` from RMA)
+must be wrapped in :class:`~repro.gasnet.reliability.ReliableConduit`,
+which restores the contract with sequence numbers, acks/retransmit,
+bounded RMA retry, and op-id-guarded exactly-once atomics.
 """
 
 from __future__ import annotations
@@ -37,6 +45,13 @@ class Conduit(abc.ABC):
     def attach(self, world: "World") -> None:
         """Bind the conduit to a world (called by the world constructor)."""
         self.world = world
+
+    def close(self) -> None:
+        """Release conduit resources (threads, buffers) at world teardown.
+
+        Called by :func:`repro.spmd` after all ranks joined; the default
+        is a no-op so simple conduits need not define it.
+        """
 
     # -- active messages ------------------------------------------------
     @abc.abstractmethod

@@ -24,6 +24,7 @@ import heapq
 import itertools
 import threading
 import time
+import warnings
 
 import numpy as np
 
@@ -94,9 +95,37 @@ class DelayConduit(SmpConduit):
                 return
 
     def close(self) -> None:
-        """Stop the dispatcher; undelivered messages are dropped (the
-        world is ending)."""
+        """Stop the dispatcher and drain undelivered messages.
+
+        The dispatcher thread is joined and **must** die; if it does not
+        within the grace period we warn loudly instead of silently
+        leaking a live thread.  Messages still queued (their delay had
+        not elapsed) are not dropped: they are delivered immediately, in
+        due order, so no send is silently lost at shutdown.
+        """
         with self._lock:
             self._stop = True
             self._cv.notify_all()
         self._dispatcher.join(timeout=5.0)
+        if self._dispatcher.is_alive():  # pragma: no cover - pathological
+            warnings.warn(
+                "DelayConduit dispatcher thread did not stop within 5s; "
+                "a live dispatcher may still deliver into a dead world",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._dispatcher.join(timeout=5.0)
+        with self._lock:
+            stragglers = sorted(self._heap)
+            self._heap.clear()
+        for _due, _seq, dst, am in stragglers:
+            try:
+                self._rank(dst).deliver(am)
+            except Exception:  # world already torn down
+                break
+
+    @property
+    def pending_messages(self) -> int:
+        """Messages queued but not yet delivered (test/diagnostic hook)."""
+        with self._lock:
+            return len(self._heap)

@@ -1,0 +1,555 @@
+"""Reliable delivery over an unreliable conduit.
+
+The UPC++ runtime (paper §IV) assumes GASNet semantics: active messages
+are delivered exactly once, in FIFO order per (src, dst) pair, and RMA
+either completes or the job dies.  :class:`ReliableConduit` restores that
+contract on top of a transport that drops, duplicates, reorders, and
+transiently fails — e.g. :class:`~repro.gasnet.chaos.ChaosConduit` — the
+way DART-MPI layers PGAS delivery semantics over an imperfect substrate.
+
+Mechanisms
+----------
+* **Sequencing + dedup** — every AM travels in an envelope carrying a
+  per-(src, dst) sequence number; the receiver delivers in order,
+  buffers early arrivals, and suppresses duplicates.
+* **Positive acks + retransmit** — the receiver acks every envelope; the
+  sender retransmits unacked envelopes on a capped exponential backoff
+  with jitter, and gives up at a per-op deadline, raising
+  :class:`~repro.errors.CommTimeout` with a diagnostic naming the stuck
+  op (delivered to the initiator's future when the AM expects a reply).
+* **Bounded RMA retry** — ``rma_put``/``rma_get`` and the indexed bulk
+  ops are idempotent and retried freely on
+  :class:`~repro.errors.TransientCommError`; ``rma_atomic`` and
+  ``rma_atomic_batch`` are guarded by op-ids so a retried update applies
+  **exactly once** even when the fault fired after the update landed.
+* **Heartbeat failure detection** — the conduit pings every rank pair;
+  a rank silent past ``peer_timeout`` is declared dead via
+  :meth:`~repro.core.world.World.fail`, converting a would-be hang into
+  :class:`~repro.errors.PeerFailure` on every blocked rank.
+
+Retry/dup/timeout counts land in :class:`~repro.gasnet.stats.CommStats`
+(``am_retransmits``/``dup_ams``/``acks_sent``/``rma_retries``/
+``op_timeouts``/``heartbeats_sent``) and in an active
+:class:`~repro.gasnet.trace.Trace` as control events.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import (
+    CommTimeout,
+    PeerFailure,
+    RankDead,
+    TransientCommError,
+)
+from repro.gasnet.am import ActiveMessage, am_handler
+from repro.gasnet.atomics import resolve_scalar
+from repro.gasnet.conduit import Conduit
+
+
+@dataclass
+class ReliabilityConfig:
+    """Tuning knobs for :class:`ReliableConduit`.
+
+    Defaults are sized for the in-process SMP/chaos conduits (sub-ms
+    "wire"); a real network would scale them up.
+    """
+
+    #: Initial retransmission timeout (seconds) for an unacked AM.
+    ack_timeout: float = 0.01
+    #: Exponential backoff multiplier per retransmission.
+    backoff: float = 2.0
+    #: Cap on the backed-off retransmission interval (seconds).
+    rto_max: float = 0.25
+    #: Jitter fraction added to each backoff interval (decorrelates
+    #: retransmission storms).
+    jitter: float = 0.25
+    #: Give up on an AM/RMA op after this many retries.
+    max_retries: int = 64
+    #: Per-op deadline (seconds); ``None`` falls back to the world's
+    #: ``op_timeout`` (and to 30 s if that is also ``None``).
+    op_deadline: float | None = None
+    #: Initial backoff between RMA retries (seconds).
+    rma_retry_delay: float = 0.002
+    #: Interval between heartbeat probe rounds (seconds).
+    heartbeat_period: float = 0.05
+    #: Declare a peer dead after this much silence (seconds);
+    #: ``None`` disables the failure detector.
+    peer_timeout: float | None = 2.0
+    #: Monitor-thread polling granularity (seconds).
+    tick: float = 0.002
+    #: Seed for the retransmission-jitter RNG.
+    seed: int = 0
+
+
+class _PendingAm:
+    """One unacked in-flight envelope on the sender side."""
+
+    __slots__ = ("env", "inner", "src", "dst", "seq", "attempts",
+                 "next_at", "deadline")
+
+    def __init__(self, env, inner, src, dst, seq, next_at, deadline):
+        self.env = env
+        self.inner = inner
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.attempts = 0
+        self.next_at = next_at
+        self.deadline = deadline
+
+
+def _control_am(handler: str, src: int, args: tuple = (),
+                payload=None) -> ActiveMessage:
+    """A small reliability-protocol AM with a fixed wire-size estimate
+    (avoids pickling envelope payloads just to size them)."""
+    am = ActiveMessage(handler=handler, src_rank=src, args=args,
+                       payload=payload)
+    am._wire_bytes = 16
+    return am
+
+
+class ReliableConduit(Conduit):
+    """Wrap any conduit with sequencing, acks/retransmit, bounded RMA
+    retry, exactly-once atomics, per-op deadlines, and a heartbeat
+    failure detector.
+
+    >>> conduit = ReliableConduit(ChaosConduit(seed=0, am_drop_rate=0.1))
+    >>> repro.spmd(body, ranks=4, conduit=conduit)
+
+    or, equivalently, via the world knob::
+
+    >>> repro.spmd(body, ranks=4, conduit=ChaosConduit(...),
+    ...            reliability={"peer_timeout": 1.0})
+    """
+
+    def __init__(self, inner: Conduit,
+                 config: ReliabilityConfig | None = None, **overrides):
+        self._inner = inner
+        if config is None:
+            config = ReliabilityConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config or keyword overrides")
+        self.cfg = config
+        self.world = None
+        self._rng = np.random.default_rng(config.seed)
+        self._rng_lock = threading.Lock()
+        # sender state
+        self._tx_lock = threading.Lock()
+        self._tx_seq: dict[tuple[int, int], int] = {}
+        self._unacked: dict[tuple[int, int, int], _PendingAm] = {}
+        # receiver state
+        self._rx_lock = threading.Lock()
+        self._rx_next: dict[tuple[int, int], int] = {}
+        self._rx_buf: dict[tuple[int, int], dict[int, ActiveMessage]] = {}
+        # exactly-once bookkeeping / diagnostics
+        self._op_ids = itertools.count(1)
+        # failure detector
+        self._last_heard: dict[int, float] = {}
+        self._dead_peers: set[int] = set()
+        self._stop = threading.Event()
+        self._monitor: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def attach(self, world) -> None:
+        self.world = world
+        self._inner.attach(world)
+        world._reliable = self
+        now = time.monotonic()
+        self._last_heard = {r: now for r in range(world.n_ranks)}
+        self._monitor = threading.Thread(
+            target=self._monitor_main,
+            name=f"pgas-reliable-{world.id}", daemon=True,
+        )
+        self._monitor.start()
+
+    def close(self) -> None:
+        """Stop the retransmit/heartbeat monitor and close the inner
+        conduit (the world is ending)."""
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+            self._monitor = None
+        self._inner.close()
+
+    def __getattr__(self, name):
+        # Delegate extras (fail_next_am, kill_rank, ...) to the inner
+        # conduit so test hooks keep working through the wrapper.
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return getattr(self.__dict__["_inner"], name)
+
+    # -- helpers -----------------------------------------------------------
+    def _deadline_for(self, now: float) -> float:
+        limit = self.cfg.op_deadline
+        if limit is None and self.world is not None:
+            limit = self.world.op_timeout
+        if limit is None:
+            limit = 30.0
+        return now + limit
+
+    def _jitter(self) -> float:
+        with self._rng_lock:
+            return 1.0 + self.cfg.jitter * float(self._rng.random())
+
+    def _note_alive(self, rank: int) -> None:
+        self._last_heard[rank] = time.monotonic()
+
+    def _trace_control(self, kind: str, src: int, dst: int,
+                       nbytes: int = 0, detail: str = "") -> None:
+        hook = None
+        if self.world is not None:
+            hook = getattr(self.world.conduit, "trace_control", None)
+        if hook is not None:
+            try:
+                hook(kind, src, dst, nbytes, detail)
+            except Exception:
+                pass
+
+    def _check_peer(self, dst: int, what: str) -> None:
+        if dst in self._dead_peers:
+            raise PeerFailure(dst, RankDead(
+                f"rank {dst} declared dead before {what}"
+            ))
+
+    # -- active messages: sequencing + acks --------------------------------
+    def send_am(self, src: int, dst: int, am: ActiveMessage) -> None:
+        if src == dst:  # loopback is reliable; skip the protocol
+            self._inner.send_am(src, dst, am)
+            return
+        now = time.monotonic()
+        with self._tx_lock:
+            seq = self._tx_seq.get((src, dst), 0)
+            self._tx_seq[(src, dst)] = seq + 1
+            env = ActiveMessage(
+                handler="__rel_data__", src_rank=src, args=(seq,),
+                payload=am,
+            )
+            env._wire_bytes = 40 + am.wire_bytes
+            self._unacked[(src, dst, seq)] = _PendingAm(
+                env, am, src, dst, seq,
+                next_at=now + self.cfg.ack_timeout,
+                deadline=self._deadline_for(now),
+            )
+        try:
+            self._inner.send_am(src, dst, env)
+        except TransientCommError:
+            pass  # counts as a drop; the retransmitter recovers it
+
+    def _on_data(self, ctx, env: ActiveMessage) -> None:
+        """Receiver side: ack, dedup, reorder into per-pair FIFO."""
+        src, dst, seq = env.src_rank, ctx.rank, env.args[0]
+        self._note_alive(src)
+        ctx.stats.record_ack()
+        try:
+            self._inner.send_am(dst, src, _control_am(
+                "__rel_ack__", dst, args=(seq,)
+            ))
+        except TransientCommError:
+            pass  # a lost ack just means one more retransmission
+        key = (src, dst)
+        with self._rx_lock:
+            nxt = self._rx_next.get(key, 0)
+            buf = self._rx_buf.setdefault(key, {})
+            if seq < nxt or seq in buf:
+                ctx.stats.record_dup_am()
+                self._trace_control("dup_suppressed", src, dst,
+                                    detail=f"seq={seq}")
+                return
+            buf[seq] = env.payload
+            ready: list[ActiveMessage] = []
+            while nxt in buf:
+                ready.append(buf.pop(nxt))
+                nxt += 1
+            self._rx_next[key] = nxt
+        # Dispatch outside the rx lock; per-dst ordering is preserved
+        # because the caller holds the rank's handler lock.
+        for inner_am in ready:
+            ctx._handle(inner_am)
+
+    def _on_ack(self, ctx, am: ActiveMessage) -> None:
+        (seq,) = am.args
+        self._note_alive(am.src_rank)
+        with self._tx_lock:
+            self._unacked.pop((ctx.rank, am.src_rank, seq), None)
+
+    # -- monitor: retransmit, deadlines, heartbeats ------------------------
+    def _monitor_main(self) -> None:
+        cfg = self.cfg
+        next_hb = 0.0
+        while not self._stop.wait(cfg.tick):
+            world = self.world
+            if world is None:
+                continue
+            now = time.monotonic()
+            self._service_retransmits(world, now)
+            if cfg.peer_timeout is not None and world.n_ranks > 1:
+                if now >= next_hb:
+                    next_hb = now + cfg.heartbeat_period
+                    self._send_heartbeats(world)
+                self._check_peers(world)
+
+    def _service_retransmits(self, world, now: float) -> None:
+        cfg = self.cfg
+        with self._tx_lock:
+            entries = list(self._unacked.items())
+        for key, e in entries:
+            if now >= e.deadline or e.attempts >= cfg.max_retries:
+                with self._tx_lock:
+                    self._unacked.pop(key, None)
+                self._expire(world, e)
+                continue
+            if now < e.next_at:
+                continue
+            e.attempts += 1
+            rto = min(cfg.ack_timeout * cfg.backoff ** e.attempts,
+                      cfg.rto_max)
+            e.next_at = now + rto * self._jitter()
+            world.ranks[e.src].stats.record_am_retransmit()
+            self._trace_control(
+                "retransmit", e.src, e.dst, e.env.wire_bytes,
+                detail=f"{e.inner.handler} seq={e.seq} try={e.attempts}",
+            )
+            try:
+                self._inner.send_am(e.src, e.dst, e.env)
+            except TransientCommError:
+                pass
+
+    def _expire(self, world, e: _PendingAm) -> None:
+        """An AM exhausted its deadline/retry budget: surface CommTimeout
+        on the initiator (via its reply future when there is one)."""
+        world.ranks[e.src].stats.record_op_timeout()
+        diag = (
+            f"reliable conduit: AM {e.inner.handler!r} "
+            f"{e.src}->{e.dst} seq {e.seq} still unacked after "
+            f"{e.attempts} retransmits; giving up"
+        )
+        self._trace_control("op_timeout", e.src, e.dst, detail=diag)
+        if e.inner.token is not None and not e.inner.is_reply:
+            err = ActiveMessage(
+                handler="__reply__", src_rank=e.dst,
+                args=("__error__", CommTimeout(diag)),
+                token=e.inner.token, is_reply=True,
+            )
+            err._wire_bytes = 16
+            world.ranks[e.src].deliver(err)
+
+    def _send_heartbeats(self, world) -> None:
+        for i in range(world.n_ranks):
+            if world.ranks[i].done or world.ranks[i].dead:
+                continue
+            for j in range(world.n_ranks):
+                if i == j:
+                    continue
+                world.ranks[i].stats.record_heartbeat()
+                try:
+                    self._inner.send_am(i, j, _control_am(
+                        "__rel_ping__", i
+                    ))
+                except TransientCommError:
+                    pass
+
+    def _check_peers(self, world) -> None:
+        now = time.monotonic()
+        timeout = self.cfg.peer_timeout
+        for r in range(world.n_ranks):
+            rk = world.ranks[r]
+            if rk.done:
+                self._last_heard[r] = now  # finished ≠ failed
+                continue
+            if r in self._dead_peers:
+                continue
+            silent = now - self._last_heard.get(r, now)
+            if silent > timeout:
+                self._dead_peers.add(r)
+                self._trace_control("peer_dead", r, r,
+                                    detail=f"silent {silent:.2f}s")
+                world.fail(r, RankDead(
+                    f"reliable conduit: rank {r} missed its heartbeat "
+                    f"deadline ({silent:.2f}s silent > "
+                    f"peer_timeout={timeout}s)"
+                ))
+
+    def _on_ping(self, ctx, am: ActiveMessage) -> None:
+        self._note_alive(am.src_rank)
+        try:
+            self._inner.send_am(ctx.rank, am.src_rank, _control_am(
+                "__rel_pong__", ctx.rank
+            ))
+        except TransientCommError:
+            pass
+
+    def _on_pong(self, ctx, am: ActiveMessage) -> None:
+        self._note_alive(am.src_rank)
+
+    # -- RMA: bounded retry ------------------------------------------------
+    def _retry_rma(self, attempt_fn, *, src: int, dst: int, what: str):
+        """Run ``attempt_fn`` retrying TransientCommError with capped
+        exponential backoff until ``max_retries``/deadline, then raise
+        CommTimeout naming the stuck op."""
+        cfg = self.cfg
+        now = time.monotonic()
+        deadline = self._deadline_for(now)
+        attempts = 0
+        while True:
+            self._check_peer(dst, what)
+            try:
+                return attempt_fn()
+            except TransientCommError as exc:
+                attempts += 1
+                if self.world is not None:
+                    self.world.ranks[src].stats.record_rma_retry()
+                self._trace_control("rma_retry", src, dst,
+                                    detail=f"{what} try={attempts}")
+                now = time.monotonic()
+                if attempts > cfg.max_retries or now >= deadline:
+                    if self.world is not None:
+                        self.world.ranks[src].stats.record_op_timeout()
+                    raise CommTimeout(
+                        f"reliable conduit: {what} {src}->{dst} failed "
+                        f"after {attempts} retries "
+                        f"(last: {exc})"
+                    ) from exc
+                delay = min(cfg.rma_retry_delay * cfg.backoff ** attempts,
+                            cfg.rto_max)
+                time.sleep(delay * self._jitter())
+
+    def rma_put(self, src: int, dst: int, offset: int,
+                data: np.ndarray) -> None:
+        self._retry_rma(
+            lambda: self._inner.rma_put(src, dst, offset, data),
+            src=src, dst=dst, what=f"rma_put[{offset}]",
+        )
+
+    def rma_get(self, src: int, dst: int, offset: int,
+                dtype: np.dtype, count: int) -> np.ndarray:
+        return self._retry_rma(
+            lambda: self._inner.rma_get(src, dst, offset, dtype, count),
+            src=src, dst=dst, what=f"rma_get[{offset}]",
+        )
+
+    def rma_put_indexed(self, src: int, dst: int, base: int,
+                        elem_offsets: np.ndarray, data: np.ndarray) -> None:
+        self._retry_rma(
+            lambda: self._inner.rma_put_indexed(
+                src, dst, base, elem_offsets, data
+            ),
+            src=src, dst=dst, what=f"rma_put_indexed[{base}]",
+        )
+
+    def rma_get_indexed(self, src: int, dst: int, base: int,
+                        dtype: np.dtype, elem_offsets: np.ndarray
+                        ) -> np.ndarray:
+        return self._retry_rma(
+            lambda: self._inner.rma_get_indexed(
+                src, dst, base, dtype, elem_offsets
+            ),
+            src=src, dst=dst, what=f"rma_get_indexed[{base}]",
+        )
+
+    # -- atomics: exactly-once under retry ---------------------------------
+    #
+    # A transient fault can fire *after* the read-modify-write applied at
+    # the target (the chaos conduit's "post" faults).  Blind retry would
+    # double-apply.  The guard: the scalar update callable we hand the
+    # inner conduit records the observed old value under the target's
+    # segment lock — atomically with the update itself.  On retry, a
+    # recorded old value proves the op already applied, and we return it
+    # without touching the target again.
+
+    def rma_atomic(self, src: int, dst: int, offset: int,
+                   dtype: np.dtype, op, operand):
+        fn = resolve_scalar(op)
+        op_id = next(self._op_ids)
+        applied: dict[str, object] = {}
+
+        def guarded(old, v):
+            applied["old"] = old
+            return fn(old, v)
+
+        def attempt():
+            if "old" in applied:  # fault fired post-application
+                return applied["old"]
+            return self._inner.rma_atomic(
+                src, dst, offset, dtype, guarded, operand
+            )
+
+        return self._retry_rma(
+            attempt, src=src, dst=dst,
+            what=f"rma_atomic[{offset}]#op{op_id}",
+        )
+
+    def rma_atomic_batch(self, src: int, dst: int, base: int,
+                         dtype: np.dtype, elem_offsets: np.ndarray,
+                         op, operands, return_old: bool = False):
+        fn = resolve_scalar(op)
+        op_id = next(self._op_ids)
+        dtype = np.dtype(dtype)
+        n = np.asarray(elem_offsets).size
+        olds: list = []
+
+        def guarded(old, v):
+            olds.append(old)
+            return fn(old, v)
+
+        def attempt():
+            # The inner conduit applies the whole batch under one
+            # segment-lock acquisition, and faults only fire at the
+            # conduit boundary — so the batch either fully applied
+            # (len(olds) == n) or not at all.
+            if len(olds) != n:
+                olds.clear()
+                self._inner.rma_atomic_batch(
+                    src, dst, base, dtype, elem_offsets, guarded,
+                    operands, return_old=False,
+                )
+            return np.array(olds, dtype=dtype) if return_old else None
+
+        if n == 0:
+            return np.empty(0, dtype=dtype) if return_old else None
+        return self._retry_rma(
+            attempt, src=src, dst=dst,
+            what=f"rma_atomic_batch[{base}]x{n}#op{op_id}",
+        )
+
+
+# ---------------------------------------------------------------------------
+# protocol AM handlers
+# ---------------------------------------------------------------------------
+
+def _reliable_of(ctx) -> ReliableConduit | None:
+    return getattr(ctx.world, "_reliable", None)
+
+
+@am_handler("__rel_data__")
+def _rel_data_handler(ctx, am) -> None:
+    rc = _reliable_of(ctx)
+    if rc is not None:
+        rc._on_data(ctx, am)
+
+
+@am_handler("__rel_ack__")
+def _rel_ack_handler(ctx, am) -> None:
+    rc = _reliable_of(ctx)
+    if rc is not None:
+        rc._on_ack(ctx, am)
+
+
+@am_handler("__rel_ping__")
+def _rel_ping_handler(ctx, am) -> None:
+    rc = _reliable_of(ctx)
+    if rc is not None:
+        rc._on_ping(ctx, am)
+
+
+@am_handler("__rel_pong__")
+def _rel_pong_handler(ctx, am) -> None:
+    rc = _reliable_of(ctx)
+    if rc is not None:
+        rc._on_pong(ctx, am)

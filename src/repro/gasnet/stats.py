@@ -38,6 +38,19 @@ class CommStats:
     collectives: int = 0
     local_accesses: int = 0
     remote_accesses: int = 0
+    # Reliability layer (repro.gasnet.reliability): retries, duplicate
+    # suppression, acks, deadline expiries, liveness probes.
+    am_retransmits: int = 0
+    dup_ams: int = 0
+    acks_sent: int = 0
+    rma_retries: int = 0
+    op_timeouts: int = 0
+    stale_replies: int = 0
+    heartbeats_sent: int = 0
+    # Chaos conduit (repro.gasnet.chaos): injected failures.
+    chaos_drops: int = 0
+    chaos_dups: int = 0
+    chaos_faults: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_put(self, nbytes: int) -> None:
@@ -105,6 +118,48 @@ class CommStats:
         with self._lock:
             self.local_accesses += count
 
+    # -- reliability layer ------------------------------------------------
+    def record_am_retransmit(self) -> None:
+        with self._lock:
+            self.am_retransmits += 1
+
+    def record_dup_am(self) -> None:
+        with self._lock:
+            self.dup_ams += 1
+
+    def record_ack(self) -> None:
+        with self._lock:
+            self.acks_sent += 1
+
+    def record_rma_retry(self) -> None:
+        with self._lock:
+            self.rma_retries += 1
+
+    def record_op_timeout(self) -> None:
+        with self._lock:
+            self.op_timeouts += 1
+
+    def record_stale_reply(self) -> None:
+        with self._lock:
+            self.stale_replies += 1
+
+    def record_heartbeat(self) -> None:
+        with self._lock:
+            self.heartbeats_sent += 1
+
+    # -- chaos conduit ----------------------------------------------------
+    def record_chaos_drop(self, count: int = 1) -> None:
+        with self._lock:
+            self.chaos_drops += count
+
+    def record_chaos_dup(self) -> None:
+        with self._lock:
+            self.chaos_dups += 1
+
+    def record_chaos_fault(self) -> None:
+        with self._lock:
+            self.chaos_faults += 1
+
     # ------------------------------------------------------------------
     @property
     def messages(self) -> int:
@@ -150,6 +205,16 @@ class CommStats:
                 "collectives": self.collectives,
                 "local_accesses": self.local_accesses,
                 "remote_accesses": self.remote_accesses,
+                "am_retransmits": self.am_retransmits,
+                "dup_ams": self.dup_ams,
+                "acks_sent": self.acks_sent,
+                "rma_retries": self.rma_retries,
+                "op_timeouts": self.op_timeouts,
+                "stale_replies": self.stale_replies,
+                "heartbeats_sent": self.heartbeats_sent,
+                "chaos_drops": self.chaos_drops,
+                "chaos_dups": self.chaos_dups,
+                "chaos_faults": self.chaos_faults,
             }
 
     def reset(self) -> None:
@@ -163,6 +228,10 @@ class CommStats:
             self.ams_handled = self.replies_sent = 0
             self.barriers = self.collectives = 0
             self.local_accesses = self.remote_accesses = 0
+            self.am_retransmits = self.dup_ams = self.acks_sent = 0
+            self.rma_retries = self.op_timeouts = self.stale_replies = 0
+            self.heartbeats_sent = 0
+            self.chaos_drops = self.chaos_dups = self.chaos_faults = 0
 
 
 def aggregate(stats: list[CommStats]) -> dict:

@@ -37,6 +37,11 @@ class TraceEvent:
     t: float          # seconds since trace start
     kind: str         # "put" | "get" | "atomic" | "put_indexed"
                       # | "get_indexed" | "atomic_batch" | "am" | "reply"
+                      # — plus reliability/chaos control events:
+                      # "retransmit" | "ack"-less "dup_suppressed"
+                      # | "rma_retry" | "op_timeout" | "peer_dead"
+                      # | "chaos_drop" | "chaos_dup" | "chaos_reorder"
+                      # | "chaos_fault"
     src: int
     dst: int
     nbytes: int
@@ -106,6 +111,15 @@ class _TracingConduit:
         return self._inner.rma_atomic_batch(
             src, dst, base, dtype, elem_offsets, op, operands, return_old
         )
+
+    def trace_control(self, kind: str, src: int, dst: int,
+                      nbytes: int = 0, detail: str = "") -> None:
+        """Record a reliability/chaos control event (retransmission, dup
+        suppression, injected drop, ...).  Inner conduits discover this
+        hook via ``getattr(world.conduit, "trace_control", None)`` so
+        control traffic shows up in traces even though it never crosses
+        the decorated surface."""
+        self._trace._record(kind, src, dst, nbytes, detail=detail)
 
     def __getattr__(self, name):  # delegate the rest (fail_next_am, ...)
         return getattr(self._inner, name)

@@ -174,3 +174,21 @@ def test_outstanding_copies_pruned_without_fence():
         return True
 
     assert all(run_spmd(body, ranks=2))
+
+
+def test_copy_handle_wait_timeout():
+    """wait(timeout=...) on a stuck handle raises CommTimeout instead of
+    blocking until the world's op_timeout."""
+    from repro.core.copy import CopyHandle
+    from repro.errors import CommTimeout
+
+    def body():
+        if repro.myrank() == 0:
+            h = CopyHandle(0, None)     # never completed
+            with pytest.raises(CommTimeout):
+                h.wait(timeout=0.2)
+            assert not h.done()
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))

@@ -116,3 +116,59 @@ def test_upc_global_lock_alloc_idiom():
         return True
 
     assert all(run_spmd(body, ranks=2))
+
+
+def test_acquire_timeout_raises_commtimeout():
+    """A blocking acquire on a held lock honours its timeout and names
+    the lock in the diagnostic."""
+    import time
+
+    from repro.errors import CommTimeout
+
+    def body():
+        me = repro.myrank()
+        lk = repro.GlobalLock(owner=0)
+        repro.barrier()
+        if me == 0:
+            lk.acquire()
+            repro.barrier()
+            time.sleep(0.6)
+            lk.release()
+        else:
+            repro.barrier()
+            with pytest.raises(CommTimeout) as ei:
+                lk.acquire(timeout=0.15)
+            assert "lock" in str(ei.value)
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_pending_acquire_observes_holder_death():
+    """A queued acquire unblocks with PeerFailure when the holder dies
+    (heartbeat detector), instead of waiting out its full timeout."""
+    from repro.core.world import die
+    from repro.errors import PeerFailure, RankDead
+
+    observed = {}
+
+    def body():
+        import time as _t
+
+        me = repro.myrank()
+        lk = repro.GlobalLock(owner=0)
+        repro.barrier()
+        if me == 1:
+            lk.acquire()
+            die()
+        _t.sleep(0.2)
+        try:
+            lk.acquire(timeout=10.0)
+        except PeerFailure as e:
+            observed[me] = e.failed_rank
+            raise
+
+    with pytest.raises(RankDead):
+        repro.spmd(body, ranks=2, heartbeat_timeout=0.8)
+    assert observed == {0: 1}

@@ -179,3 +179,38 @@ def test_chaos_mix_under_delay(seed):
 
     res = _run(body, ranks=4, seed=seed)
     assert len(set(res)) == 1
+
+
+# -------------------------------------------------------------- shutdown
+
+def test_close_kills_dispatcher_and_drains_stragglers():
+    """close() must leave no live dispatcher thread and no silently
+    dropped message: AMs whose delay has not elapsed are delivered
+    immediately at shutdown."""
+    from repro.core.world import World
+    from repro.gasnet.am import ActiveMessage
+
+    conduit = DelayConduit(base_delay=30.0, jitter=0.0)
+    world = World(2, conduit=conduit)
+    try:
+        conduit.send_am(0, 1, ActiveMessage(handler="noop", src_rank=0))
+        assert conduit.pending_messages == 1   # queued 30s out
+    finally:
+        conduit.close()
+    assert not conduit._dispatcher.is_alive()
+    assert conduit.pending_messages == 0
+    # the straggler was drained into the target's inbox, not dropped
+    assert len(world.ranks[1]._inbox) == 1
+    assert world.ranks[1]._inbox[0].handler == "noop"
+
+
+def test_close_idempotent_after_normal_run():
+    def body():
+        repro.barrier()
+        return True
+
+    conduit = DelayConduit(base_delay=0.001, jitter=0.001)
+    assert all(repro.spmd(body, ranks=2, conduit=conduit))
+    assert not conduit._dispatcher.is_alive()   # spmd closed it
+    conduit.close()                             # second close is harmless
+    assert conduit.pending_messages == 0
