@@ -221,8 +221,13 @@ def random_access(log2_table_size: int = 10, updates_per_rank: int = 256,
 
 def run(ranks: int = 4, log2_table_size: int = 10,
         updates_per_rank: int = 256, variant: str = "upcxx",
-        verify: bool = True) -> GupsResult:
-    """Launch the benchmark in its own SPMD world."""
+        verify: bool = True, telemetry=None) -> GupsResult:
+    """Launch the benchmark in its own SPMD world.
+
+    ``telemetry`` is forwarded to :func:`repro.spmd` ("off"/"flight"/
+    "full" or a :class:`repro.telemetry.TelemetryConfig`) — the overhead
+    comparison in the bench harness runs the same workload at each mode.
+    """
     results = repro.spmd(
         random_access, ranks=ranks,
         kwargs=dict(
@@ -230,5 +235,6 @@ def run(ranks: int = 4, log2_table_size: int = 10,
             updates_per_rank=updates_per_rank,
             variant=variant, verify=verify,
         ),
+        telemetry=telemetry,
     )
     return results[0]

@@ -134,25 +134,40 @@ def sample_sort(keys_per_rank: int = 4096, variant: str = "upcxx",
     keys.local_view()[:keys_per_rank] = mine
     repro.barrier()
 
+    # Phase spans land in the telemetry span log (no-ops when telemetry
+    # is not "full") so a Perfetto export shows the sort's anatomy:
+    # splitters / partition / redistribute / merge nested under the
+    # timed region.
+    tel = repro.current_world().ranks[me].telemetry
+
     t0 = time.perf_counter()
     splitters = _select_splitters(keys, oversample, seed)
+    tel.record_span("sort:splitters", t0, time.perf_counter() - t0)
 
     # partition local keys by splitter (vectorized)
+    tp = time.perf_counter()
     order = np.argsort(mine, kind="stable")
     sorted_mine = mine[order]
     bounds = np.searchsorted(sorted_mine, splitters, side="right")
     parts = np.split(sorted_mine, bounds)
+    tel.record_span("sort:partition", tp, time.perf_counter() - tp)
 
+    tr = time.perf_counter()
     if variant == "upcxx":
         received = _redistribute_one_sided(mine, parts)
     elif variant == "upc":
         received = _redistribute_upc(mine, parts)
     else:
         raise ValueError(f"unknown variant {variant!r}")
+    tel.record_span("sort:redistribute", tr, time.perf_counter() - tr)
 
+    tm = time.perf_counter()
     result = np.sort(received, kind="quicksort")
+    tel.record_span("sort:merge", tm, time.perf_counter() - tm)
     repro.barrier()
     dt = time.perf_counter() - t0
+    tel.record_span("sort:total", t0, dt,
+                    detail=f"{total} keys, variant={variant}")
 
     verified = True
     if verify:

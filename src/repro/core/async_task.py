@@ -106,6 +106,12 @@ class _AsyncCall:
 
         def launch() -> None:
             payload = _pack_task(fn, args, kwargs)
+            if ctx.telemetry.active:
+                name = getattr(fn, "__name__", None) or repr(fn)
+                for target in targets:
+                    ctx.telemetry.flight_event(
+                        "task_spawn", src=ctx.rank, dst=target, detail=name
+                    )
             for target, fut in zip(targets, futures):
                 token = ctx.new_token()
                 with ctx._pending_lock:

@@ -15,6 +15,7 @@ performance model consumes.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -53,9 +54,17 @@ class CopyHandle:
         while waiting raises :class:`~repro.errors.PeerFailure`), like
         every other blocking runtime call.
         """
-        current().wait_until(
+        ctx = current()
+        tel = ctx.telemetry
+        t0 = time.perf_counter() if tel.full else 0.0
+        ctx.wait_until(
             lambda: self._done, what="async_copy", timeout=timeout
         )
+        if tel.full:
+            # Completion-wait latency: issue-to-done for this handle.
+            tel.histogram("copy_wait").record_seconds(
+                time.perf_counter() - t0
+            )
 
 
 def _transfer(src: GlobalPtr, dst: GlobalPtr, count: int) -> int:

@@ -20,6 +20,7 @@ the paper makes the same trade-off).
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.core.world import current
 
@@ -32,10 +33,13 @@ class FinishScope:
         self._lock = threading.Lock()
         self.outstanding = 0
         self.errors: list[BaseException] = []
+        self._t0 = 0.0
+        self._spawned = 0
 
     def register(self, n: int = 1) -> None:
         with self._lock:
             self.outstanding += n
+            self._spawned += n
 
     def complete(self, exc: BaseException | None = None) -> None:
         with self._lock:
@@ -47,21 +51,31 @@ class FinishScope:
 
     # -- context manager ----------------------------------------------------
     def __enter__(self) -> "FinishScope":
+        self._t0 = time.perf_counter()
         self._ctx.finish_stack.append(self)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         popped = self._ctx.finish_stack.pop()
         assert popped is self, "finish scopes must nest properly"
-        if exc is not None:
-            # Still drain our asyncs so peers are not left with dangling
-            # reply targets, but let the original exception propagate.
-            try:
-                self._drain()
-            except Exception:
-                pass
-            return
-        self._drain()
+        try:
+            if exc is not None:
+                # Still drain our asyncs so peers are not left with
+                # dangling reply targets, but let the original
+                # exception propagate.
+                try:
+                    self._drain()
+                except Exception:
+                    pass
+                return
+            self._drain()
+        finally:
+            tel = self._ctx.telemetry
+            if tel.full:
+                dur = time.perf_counter() - self._t0
+                tel.histogram("finish_block").record_seconds(dur)
+                tel.record_span("finish", self._t0, dur,
+                                detail=f"{self._spawned} asyncs")
         if self.errors:
             raise self.errors[0]
 

@@ -13,6 +13,7 @@ runtime call (the usual polling-runtime contract).
 
 from __future__ import annotations
 
+import time
 from collections import deque
 
 from repro.core import collectives
@@ -95,18 +96,29 @@ class GlobalLock:
         blocking forever.
         """
         ctx = current()
+        tel = ctx.telemetry
         handler = "lock_acquire" if block else "lock_try"
+        t0 = time.perf_counter()
         fut = ctx.send_am(
             self.owner, handler, args=(self.lock_id,), expect_reply=True
         )
         try:
             (status, *_rest), _payload = fut.get(timeout=timeout)
         except CommTimeout as exc:
+            tel.flight_event(
+                "lock_timeout", src=ctx.rank, dst=self.owner,
+                detail=f"lock {self.lock_id}",
+            )
             raise CommTimeout(
                 f"rank {ctx.rank}: acquire of lock {self.lock_id} "
                 f"(owner rank {self.owner}) timed out — holder wedged "
                 f"or grant lost ({exc})"
             ) from exc
+        if tel.full and block:
+            # Lock-wait latency: request -> grant (queue time included).
+            tel.histogram("lock_wait").record_seconds(
+                time.perf_counter() - t0
+            )
         return status == "granted"
 
     def release(self) -> None:

@@ -25,6 +25,7 @@ as such.
 from __future__ import annotations
 
 import pickle
+import time
 from collections import deque
 from typing import Any, Iterable, Optional
 
@@ -111,6 +112,7 @@ class DistWorkQueue:
     def _steal_once(self) -> bool:
         """Try one random victim; True if anything was stolen."""
         ctx = current()
+        tel = ctx.telemetry
         n = ctx.world.n_ranks
         if n == 1:
             return False
@@ -118,14 +120,22 @@ class DistWorkQueue:
         if victim >= ctx.rank:
             victim += 1
         self.steals_attempted += 1
+        t0 = time.perf_counter()
         fut = ctx.send_am(victim, "wq_steal", args=(self.qid,),
                           expect_reply=True)
         _args, payload = fut.get()
         loot = pickle.loads(payload)
+        if tel.full:
+            # Steal round trip: request -> loot (empty-handed included).
+            tel.histogram("wq_steal_rtt").record_seconds(
+                time.perf_counter() - t0
+            )
         if not loot:
             return False
         _table(ctx)[self.qid].extend(loot)
         self.steals_successful += 1
+        tel.flight_event("wq_steal", src=ctx.rank, dst=victim,
+                         detail=f"{len(loot)} items")
         return True
 
     def get(self, max_steal_rounds: int = 0) -> Optional[Any]:
@@ -141,6 +151,12 @@ class DistWorkQueue:
         # next local item — a loaded rank that never polls would starve
         # every thief (the polling-runtime contract of paper §IV).
         ctx.advance(max_items=8)
+        if ctx.telemetry.full:
+            # Local queue depth at claim time: the load-balance signal
+            # (a heavy tail here means stealing is not keeping up).
+            ctx.telemetry.record_value(
+                "wq_depth", self.local_size(), unit="items"
+            )
         while True:
             item = self._pop_local()
             if item is not None:

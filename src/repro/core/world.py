@@ -21,6 +21,7 @@ exception is re-raised on the launching thread.
 from __future__ import annotations
 
 import itertools
+import sys
 import threading
 import time
 from collections import deque
@@ -37,6 +38,11 @@ from repro.gasnet.am import ActiveMessage, handler_registry, make_reply
 from repro.gasnet.segment import Segment
 from repro.gasnet.smp import SmpConduit
 from repro.gasnet.stats import CommStats
+from repro.telemetry import (
+    TelemetryConduit,
+    WorldTelemetry,
+    resolve_config as _resolve_telemetry,
+)
 
 _tls = threading.local()
 
@@ -66,7 +72,8 @@ def try_current() -> Optional["RankState"]:
 class _Task:
     """An async task queued for execution on this rank."""
 
-    __slots__ = ("fn", "args", "kwargs", "reply_rank", "reply_token")
+    __slots__ = ("fn", "args", "kwargs", "reply_rank", "reply_token",
+                 "enqueued_at")
 
     def __init__(self, fn, args, kwargs, reply_rank, reply_token):
         self.fn = fn
@@ -74,6 +81,8 @@ class _Task:
         self.kwargs = kwargs
         self.reply_rank = reply_rank
         self.reply_token = reply_token
+        #: Stamped at enqueue so telemetry can report spawn->run wait.
+        self.enqueued_at = time.perf_counter()
 
 
 class RankState:
@@ -84,6 +93,9 @@ class RankState:
         self.rank = rank
         self.segment = Segment(segment_size, rank=rank)
         self.stats = CommStats()
+        #: This rank's telemetry state (histograms, flight recorder);
+        #: always present — a no-op object when telemetry is "off".
+        self.telemetry = world.telemetry.rank(rank)
         self._cv = threading.Condition()
         self._inbox: deque[ActiveMessage] = deque()
         self.task_queue: deque[_Task] = deque()
@@ -143,6 +155,12 @@ class RankState:
             fut = Future(self)
             with self._pending_lock:
                 self._pending[token] = fut
+            if self.telemetry.full:
+                # AM round-trip latency: request send -> reply handled.
+                tel, t0 = self.telemetry, time.perf_counter()
+                fut.add_callback(lambda _f: tel.record_latency(
+                    "am_rtt", time.perf_counter() - t0
+                ))
         am = ActiveMessage(
             handler=handler, src_rank=self.rank, args=args,
             payload=payload, token=token,
@@ -177,6 +195,8 @@ class RankState:
         runtime operation calls it while waiting.
         """
         self.last_heartbeat = time.monotonic()
+        tel = self.telemetry
+        t0 = time.perf_counter() if tel.full else 0.0
         progressed = False
         handled = 0
         while max_items is None or handled < max_items:
@@ -192,10 +212,26 @@ class RankState:
             self._run_task(task)
             progressed = True
             handled += 1
+        if tel.full and handled:
+            # The progress engine's poll latency: how long one advance()
+            # held the rank (p99 here is the paper's attentiveness
+            # metric).  Idle polls are skipped — spin-waits call
+            # advance() millions of times and a histogram append per
+            # empty poll would dominate the very cost being measured.
+            tel.histogram("advance").record_seconds(
+                time.perf_counter() - t0
+            )
         return progressed
 
     def _handle(self, am: ActiveMessage) -> None:
         self.stats.record_am_handled()
+        if self.telemetry.active and am.handler not in (
+            "__rel_ping__", "__rel_pong__", "__rel_ack__",
+        ):  # protocol chatter would drown out the useful history
+            self.telemetry.flight_event(
+                "am_handled", src=am.src_rank, dst=self.rank,
+                detail=am.handler,
+            )
         with self._handler_lock:
             if am.is_reply:
                 with self._pending_lock:
@@ -231,6 +267,29 @@ class RankState:
 
     def _run_task(self, task: _Task) -> None:
         """Execute one queued async task and reply with its result."""
+        tel = self.telemetry
+        name = getattr(task.fn, "__name__", None) or repr(task.fn)
+        t_run = time.perf_counter()
+        if tel.active:
+            tel.flight_event("task_run", src=task.reply_rank,
+                             dst=self.rank, detail=name)
+            if tel.full:
+                # Spawn -> run wait (time spent queued on this rank).
+                tel.histogram("task_queue_wait").record_seconds(
+                    t_run - task.enqueued_at
+                )
+        try:
+            self._run_task_body(task)
+        finally:
+            if tel.active:
+                dur = time.perf_counter() - t_run
+                tel.flight_event("task_done", src=task.reply_rank,
+                                 dst=self.rank, detail=name)
+                if tel.full:
+                    tel.histogram("task_exec").record_seconds(dur)
+                    tel.record_span(f"task:{name}", t_run, dur)
+
+    def _run_task_body(self, task: _Task) -> None:
         with self._handler_lock, self._activate():
             try:
                 result = task.fn(*task.args, **task.kwargs)
@@ -286,6 +345,11 @@ class RankState:
                     if not self._inbox and not pred():
                         self._cv.wait(0.001)
             if deadline is not None and time.monotonic() > deadline:
+                self.telemetry.flight_event(
+                    "op_timeout", src=self.rank, dst=-1,
+                    detail=f"wait_until({what or pred}) expired "
+                           f"after {timeout}s",
+                )
                 raise CommTimeout(
                     f"rank {self.rank}: timed out waiting for {what or pred}"
                 )
@@ -347,6 +411,13 @@ class World:
         :class:`~repro.errors.PeerFailure` instead of hanging.  Must
         exceed the longest pure-compute (non-communicating) phase of the
         program.  ``heartbeat_period`` is the detector's polling period.
+    ``telemetry``:
+        ``None``/``"off"`` (default) records nothing and leaves the
+        conduit unwrapped; ``"flight"`` runs only the per-rank flight
+        recorder (dumped on failure); ``"full"``/``True`` adds per-op
+        latency histograms and spans.  Also accepts a dict of
+        :class:`~repro.telemetry.TelemetryConfig` fields or a ready
+        config.  See :mod:`repro.telemetry`.
     """
 
     def __init__(
@@ -359,6 +430,7 @@ class World:
         reliability=None,
         heartbeat_timeout: float | None = None,
         heartbeat_period: float = 0.02,
+        telemetry=None,
     ):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
@@ -370,12 +442,20 @@ class World:
         self.op_timeout = op_timeout
         self.heartbeat_timeout = heartbeat_timeout
         self.heartbeat_period = heartbeat_period
+        #: Observability state (histograms, flight recorder, spans) —
+        #: see :mod:`repro.telemetry`.  Mode "off" records nothing and
+        #: installs no conduit wrapper.
+        self.telemetry = WorldTelemetry(n_ranks, _resolve_telemetry(telemetry))
         conduit = conduit if conduit is not None else SmpConduit()
         #: Set by ReliableConduit.attach; consulted by the AM layer to
         #: tolerate post-deadline (stale) replies.
         self._reliable = None
         if reliability is not None and reliability is not False:
             conduit = _wrap_reliable(conduit, reliability)
+        if self.telemetry.enabled:
+            # Outermost layer: latencies include reliability retries, and
+            # inner layers' trace_control events reach the flight ring.
+            conduit = TelemetryConduit(conduit, self.telemetry)
         self.conduit = conduit
         self.ranks = [RankState(self, r, segment_size) for r in range(n_ranks)]
         self.conduit.attach(self)
@@ -394,6 +474,16 @@ class World:
                 name=f"pgas-detector-{self.id}", daemon=True,
             )
             self._detector_thread.start()
+
+    # -- observability -------------------------------------------------------
+    def dump_flight_recorder(self, header: str = "", file=None) -> str:
+        """Merge every rank's flight-recorder ring into one time-ordered
+        human-readable dump; write it to ``file`` when given (pass
+        ``sys.stderr`` for the classic crash dump) and return it."""
+        text = self.telemetry.dump_flight_recorder(header=header)
+        if file is not None:
+            file.write(text)
+        return text
 
     # -- failure propagation ------------------------------------------------
     @property
@@ -572,6 +662,7 @@ def spmd(
     reliability=None,
     heartbeat_timeout: float | None = None,
     heartbeat_period: float = 0.02,
+    telemetry=None,
 ) -> list:
     """Run ``fn`` in SPMD style on ``ranks`` ranks; return per-rank results.
 
@@ -591,7 +682,7 @@ def spmd(
         ranks, segment_size=segment_size, conduit=conduit,
         thread_mode=thread_mode, op_timeout=timeout,
         reliability=reliability, heartbeat_timeout=heartbeat_timeout,
-        heartbeat_period=heartbeat_period,
+        heartbeat_period=heartbeat_period, telemetry=telemetry,
     )
     results: list = [None] * ranks
     secondary: list[BaseException | None] = [None] * ranks
@@ -643,9 +734,11 @@ def spmd(
             world.fail(-1, CommTimeout(f"{len(stuck)} rank(s) hung"))
             for t in stuck:
                 t.join(timeout=5.0)
-            raise CommTimeout(
+            exc = CommTimeout(
                 f"spmd: {len(stuck)} of {ranks} ranks did not terminate"
             )
+            _dump_on_failure(world, exc)
+            raise exc
     finally:
         world.stop_progress_thread()
         world.stop_failure_detector()
@@ -654,5 +747,23 @@ def spmd(
             close()
     if world.failure is not None:
         failed_rank, exc = world.failure
+        _dump_on_failure(world, exc)
         raise exc
     return results
+
+
+def _dump_on_failure(world: World, exc: BaseException) -> None:
+    """The flight recorder's trigger: a communication failure is about
+    to propagate to the caller — dump every rank's recent history to
+    stderr first (the exception alone says *what* gave up; the merged
+    ring says what every rank was *doing*)."""
+    if not world.telemetry.enabled:
+        return
+    if not isinstance(exc, (CommTimeout, PeerFailure, RankDead)):
+        return
+    try:
+        world.dump_flight_recorder(
+            header=f"{type(exc).__name__}: {exc}", file=sys.stderr
+        )
+    except Exception:  # a broken dump must never mask the real failure
+        pass

@@ -20,7 +20,8 @@ state or deadlock directly on this conduit; the point is to run them
 through :class:`~repro.gasnet.reliability.ReliableConduit` wrapped around
 this one and prove the stack survives.  Injected events are counted in
 :class:`~repro.gasnet.stats.CommStats` (``chaos_drops``/``chaos_dups``/
-``chaos_faults``) and reported to an active :class:`~repro.gasnet.trace.Trace`.
+``chaos_reorders``/``chaos_faults``) and reported to an active
+:class:`~repro.gasnet.trace.Trace`.
 """
 
 from __future__ import annotations
@@ -158,6 +159,7 @@ class ChaosConduit(SmpConduit):
             self._trace_control("chaos_dup", src, dst, am.wire_bytes,
                                 detail=am.handler)
         if held_now:
+            self._rank(src).stats.record_chaos_reorder()
             self._trace_control("chaos_reorder", src, dst, am.wire_bytes,
                                 detail=am.handler)
         for m in to_deliver:

@@ -50,6 +50,7 @@ class CommStats:
     # Chaos conduit (repro.gasnet.chaos): injected failures.
     chaos_drops: int = 0
     chaos_dups: int = 0
+    chaos_reorders: int = 0
     chaos_faults: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
@@ -156,33 +157,45 @@ class CommStats:
         with self._lock:
             self.chaos_dups += 1
 
+    def record_chaos_reorder(self) -> None:
+        with self._lock:
+            self.chaos_reorders += 1
+
     def record_chaos_fault(self) -> None:
         with self._lock:
             self.chaos_faults += 1
 
     # ------------------------------------------------------------------
+    # Derived properties read several counters that a concurrent
+    # record_* may be mid-update on, so they all go through snapshot()
+    # (one consistent locked copy) instead of reading fields directly.
     @property
     def messages(self) -> int:
         """Total injected network operations (RMA + AMs + replies)."""
-        return (self.puts + self.gets + self.atomics + self.ams_sent
-                + self.batched_ops)
+        s = self.snapshot()
+        return (s["puts"] + s["gets"] + s["atomics"] + s["ams_sent"]
+                + s["puts_indexed"] + s["gets_indexed"]
+                + s["atomic_batches"])
 
     @property
     def batched_ops(self) -> int:
         """Indexed bulk conduit operations (each covers many elements)."""
-        return self.puts_indexed + self.gets_indexed + self.atomic_batches
+        s = self.snapshot()
+        return s["puts_indexed"] + s["gets_indexed"] + s["atomic_batches"]
 
     @property
     def coalescing_ratio(self) -> float:
         """Average elements carried per batched conduit op (0.0 when no
         batched ops were issued) — how many scalar RMAs each batch
         replaced."""
-        ops = self.batched_ops
-        return self.batched_elements / ops if ops else 0.0
+        s = self.snapshot()
+        ops = s["puts_indexed"] + s["gets_indexed"] + s["atomic_batches"]
+        return s["batched_elements"] / ops if ops else 0.0
 
     @property
     def bytes_moved(self) -> int:
-        return self.put_bytes + self.get_bytes + self.am_bytes
+        s = self.snapshot()
+        return s["put_bytes"] + s["get_bytes"] + s["am_bytes"]
 
     def snapshot(self) -> dict:
         """An immutable copy of the counters (plain dict)."""
@@ -214,6 +227,7 @@ class CommStats:
                 "heartbeats_sent": self.heartbeats_sent,
                 "chaos_drops": self.chaos_drops,
                 "chaos_dups": self.chaos_dups,
+                "chaos_reorders": self.chaos_reorders,
                 "chaos_faults": self.chaos_faults,
             }
 
@@ -231,7 +245,8 @@ class CommStats:
             self.am_retransmits = self.dup_ams = self.acks_sent = 0
             self.rma_retries = self.op_timeouts = self.stale_replies = 0
             self.heartbeats_sent = 0
-            self.chaos_drops = self.chaos_dups = self.chaos_faults = 0
+            self.chaos_drops = self.chaos_dups = 0
+            self.chaos_reorders = self.chaos_faults = 0
 
 
 def aggregate(stats: list[CommStats]) -> dict:

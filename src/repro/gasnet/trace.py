@@ -118,8 +118,16 @@ class _TracingConduit:
         suppression, injected drop, ...).  Inner conduits discover this
         hook via ``getattr(world.conduit, "trace_control", None)`` so
         control traffic shows up in traces even though it never crosses
-        the decorated surface."""
+        the decorated surface.  Forwarded down the decorator chain so a
+        stacked consumer (another Trace, the telemetry flight recorder)
+        sees the event too."""
         self._trace._record(kind, src, dst, nbytes, detail=detail)
+        fwd = getattr(self._inner, "trace_control", None)
+        if fwd is not None:
+            try:
+                fwd(kind, src, dst, nbytes, detail)
+            except Exception:  # tracing must never break the transport
+                pass
 
     def __getattr__(self, name):  # delegate the rest (fail_next_am, ...)
         return getattr(self._inner, name)
@@ -146,6 +154,7 @@ class Trace:
         self._lock = threading.Lock()
         self._t0 = 0.0
         self._installed = False
+        self._wrapper: _TracingConduit | None = None
 
     def _record(self, kind: str, src: int, dst: int, nbytes: int,
                 detail: str = "") -> None:
@@ -161,13 +170,32 @@ class Trace:
         if self._installed:
             raise RuntimeError("trace already active")
         self._t0 = time.perf_counter()
-        self.world.conduit = _TracingConduit(self.world.conduit, self)
+        self._wrapper = _TracingConduit(self.world.conduit, self)
+        self.world.conduit = self._wrapper
         self._installed = True
         return self
 
     def __exit__(self, *exc) -> None:
-        self.world.conduit = self.world.conduit._inner
+        # Splice out *our* wrapper, wherever it now sits.  Popping
+        # ``world.conduit._inner`` unconditionally would unwind whatever
+        # decorator happens to be outermost — wrong if another layer was
+        # installed inside the ``with`` block.  Idempotent: exiting twice
+        # (e.g. after an exception already triggered cleanup) is a no-op.
+        wrapper, self._wrapper = self._wrapper, None
         self._installed = False
+        if wrapper is None:
+            return
+        node = self.world.conduit
+        if node is wrapper:
+            self.world.conduit = wrapper._inner
+            return
+        while node is not None:
+            inner = getattr(node, "_inner", None)
+            if inner is wrapper:
+                node._inner = wrapper._inner
+                return
+            node = inner
+        # Wrapper no longer in the chain (someone else removed it): done.
 
     # -- queries ---------------------------------------------------------------
     def select(self, kind: str | None = None, src: int | None = None,

@@ -1,0 +1,117 @@
+"""The failure-time flight recorder.
+
+PGAS bugs are *pattern* bugs: by the time a ``CommTimeout`` or
+``PeerFailure`` surfaces, the interesting part — what every rank was
+doing in the moments before — is gone.  Each rank therefore keeps a
+bounded ring buffer of recent runtime events (conduit ops, AM handling,
+task lifecycle, reliability control traffic, failures); when a failure
+propagates out of :func:`repro.spmd`, all rings are merged into one
+time-ordered, human-readable dump — the black box read-out.
+
+Recording one event is a timestamp plus a bounded ``deque.append``;
+cheap enough for the ``"flight"`` telemetry mode to ride along on every
+conduit operation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+#: Default ring capacity (events kept per rank).
+DEFAULT_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One recorded runtime event."""
+
+    t: float          # time.perf_counter() at record time
+    rank: int         # the rank that recorded the event
+    kind: str         # "rma_put" | "am" | "task_run" | "retransmit" | ...
+    src: int = -1     # initiator (-1: not a point-to-point event)
+    dst: int = -1     # target (-1: not a point-to-point event)
+    nbytes: int = 0
+    detail: str = ""
+
+
+class FlightRecorder:
+    """A bounded per-rank ring of :class:`FlightEvent`."""
+
+    __slots__ = ("rank", "capacity", "_ring", "_lock", "dropped")
+
+    def __init__(self, rank: int, capacity: int = DEFAULT_CAPACITY):
+        self.rank = rank
+        self.capacity = capacity
+        self._ring: deque[FlightEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        #: Events evicted by the ring bound (how much history was lost).
+        self.dropped = 0
+
+    def record(self, kind: str, src: int = -1, dst: int = -1,
+               nbytes: int = 0, detail: str = "") -> None:
+        ev = FlightEvent(t=time.perf_counter(), rank=self.rank, kind=kind,
+                         src=src, dst=dst, nbytes=nbytes, detail=detail)
+        with self._lock:
+            if len(self._ring) == self.capacity:
+                self.dropped += 1
+            self._ring.append(ev)
+
+    def snapshot(self) -> list[FlightEvent]:
+        with self._lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+
+def merge_dump(recorders: Iterable[FlightRecorder],
+               header: str = "", limit_per_rank: int | None = None) -> str:
+    """Merge per-rank rings into one human-readable, time-ordered dump.
+
+    ``header`` names the triggering failure (e.g. the ``CommTimeout``
+    message — which itself names the stuck op).  Timestamps are printed
+    relative to the earliest merged event so the dump reads as a
+    countdown to the failure.
+    """
+    per_rank: list[tuple[FlightRecorder, list[FlightEvent]]] = []
+    for rec in recorders:
+        evs = rec.snapshot()
+        if limit_per_rank is not None:
+            evs = evs[-limit_per_rank:]
+        per_rank.append((rec, evs))
+    merged = sorted(
+        (ev for _, evs in per_rank for ev in evs), key=lambda ev: ev.t
+    )
+    lines = ["=" * 72, "FLIGHT RECORDER DUMP"]
+    if header:
+        lines.append(f"trigger: {header}")
+    for rec, evs in per_rank:
+        note = f" ({rec.dropped} older events evicted)" if rec.dropped else ""
+        lines.append(f"rank {rec.rank}: {len(evs)} events{note}")
+    lines.append("-" * 72)
+    if not merged:
+        lines.append("(no events recorded)")
+    else:
+        t0 = merged[0].t
+        for ev in merged:
+            route = ""
+            if ev.src >= 0 or ev.dst >= 0:
+                route = f" {ev.src}->{ev.dst}"
+            size = f" {ev.nbytes}B" if ev.nbytes else ""
+            detail = f"  {ev.detail}" if ev.detail else ""
+            lines.append(
+                f"[{(ev.t - t0) * 1e3:10.3f} ms] rank {ev.rank}: "
+                f"{ev.kind}{route}{size}{detail}"
+            )
+    lines.append("=" * 72)
+    return "\n".join(lines) + "\n"

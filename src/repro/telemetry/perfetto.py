@@ -1,0 +1,132 @@
+"""Chrome/Perfetto ``trace_event`` JSON export.
+
+Converts a :class:`~repro.gasnet.trace.Trace` (per-op communication
+events) and/or telemetry spans (finish blocks, task execution, waits)
+into the Trace Event Format that ``ui.perfetto.dev`` and
+``chrome://tracing`` load directly:
+
+* each **rank is a process** (``pid = rank``) with a ``process_name``
+  metadata record;
+* spans are ``"X"`` (complete) events placed on the recording OS
+  thread's track, so nested runtime regions (a task running inside a
+  finish block) nest correctly in the UI;
+* conduit operations are ``"i"`` (instant) events on a dedicated
+  ``comm`` track of the initiating rank;
+* timestamps are microseconds rebased to the earliest exported event.
+
+>>> data = to_perfetto(trace=trace, telemetry=world.telemetry)
+>>> write_perfetto("run.perfetto.json", trace=trace)
+"""
+
+from __future__ import annotations
+
+import json
+
+#: tid reserved for the per-rank conduit-operation (instant-event) track.
+COMM_TID = 0
+
+
+def _sec_to_us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def to_perfetto(trace=None, telemetry=None, extra_events=None) -> dict:
+    """Build a trace_event JSON object (a plain dict, ready to dump).
+
+    ``trace`` is a :class:`~repro.gasnet.trace.Trace` (or None);
+    ``telemetry`` is a :class:`~repro.telemetry.recorder.WorldTelemetry`
+    (or None); ``extra_events`` appends pre-built trace_event dicts.
+    """
+    spans = telemetry.all_spans() if telemetry is not None else []
+    trace_events = list(trace.events) if trace is not None else []
+    trace_t0 = getattr(trace, "_t0", 0.0) if trace is not None else 0.0
+
+    # Absolute perf_counter timestamps for every exported item, so the
+    # two sources share one timeline; rebase to the earliest.
+    span_ts = [s.t0 for s in spans]
+    ev_ts = [trace_t0 + ev.t for ev in trace_events]
+    all_ts = span_ts + ev_ts
+    base = min(all_ts) if all_ts else 0.0
+
+    events: list[dict] = []
+    pids: set[int] = set()
+    # Map each (rank, OS thread ident) to a small stable tid (>= 1;
+    # COMM_TID = 0 is reserved for the conduit track).
+    tid_map: dict[tuple[int, int], int] = {}
+
+    def tid_for(rank: int, raw_tid: int) -> int:
+        key = (rank, raw_tid)
+        tid = tid_map.get(key)
+        if tid is None:
+            tid = tid_map[key] = 1 + sum(
+                1 for (r, _t) in tid_map if r == rank
+            )
+        return tid
+
+    # Canonical order: by start time, longest span first on ties, so an
+    # enclosing region always precedes the sub-spans that start with it.
+    for s in sorted(spans, key=lambda s: (s.t0, -s.dur)):
+        pids.add(s.rank)
+        ev = {
+            "name": s.name,
+            "ph": "X",
+            "pid": s.rank,
+            "tid": tid_for(s.rank, s.tid),
+            "ts": _sec_to_us(s.t0 - base),
+            "dur": _sec_to_us(s.dur),
+            "cat": "runtime",
+        }
+        if s.detail:
+            ev["args"] = {"detail": s.detail}
+        events.append(ev)
+
+    for ev in trace_events:
+        pids.add(ev.src)
+        rec = {
+            "name": ev.kind,
+            "ph": "i",
+            "s": "t",
+            "pid": ev.src,
+            "tid": COMM_TID,
+            "ts": _sec_to_us(trace_t0 + ev.t - base),
+            "cat": "comm",
+            "args": {"dst": ev.dst, "nbytes": ev.nbytes},
+        }
+        if ev.detail:
+            rec["args"]["detail"] = ev.detail
+        events.append(rec)
+
+    meta: list[dict] = []
+    for pid in sorted(pids):
+        meta.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"rank {pid}"},
+        })
+        meta.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": COMM_TID,
+            "args": {"name": "comm (conduit ops)"},
+        })
+    for (rank, _raw), tid in sorted(tid_map.items(), key=lambda kv: kv[1]):
+        meta.append({
+            "name": "thread_name", "ph": "M", "pid": rank, "tid": tid,
+            "args": {"name": f"runtime-{tid}"},
+        })
+
+    if extra_events:
+        events.extend(extra_events)
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.telemetry.perfetto"},
+    }
+
+
+def write_perfetto(path: str, trace=None, telemetry=None,
+                   extra_events=None) -> dict:
+    """Export to ``path`` (conventionally ``*.perfetto.json``) and
+    return the written object."""
+    data = to_perfetto(trace=trace, telemetry=telemetry,
+                       extra_events=extra_events)
+    with open(path, "w") as f:
+        json.dump(data, f)
+    return data

@@ -1,0 +1,225 @@
+"""Per-rank and per-world telemetry state.
+
+Three modes, resolved from the ``telemetry=`` knob on
+:class:`~repro.core.world.World` / :func:`repro.spmd`:
+
+``"off"`` (default)
+    Nothing is recorded and **no conduit wrapper is installed** — the
+    communication fast path is byte-identical to a world built before
+    this subsystem existed.  Runtime call sites guard on a single
+    attribute read (``tel.full``).
+``"flight"``
+    Only the :class:`~repro.telemetry.flight.FlightRecorder` ring runs:
+    one bounded append per conduit op / task event.  This is the mode
+    for long-running jobs that want a black box but no histograms.
+``"full"``
+    Flight recorder **plus** per-op latency histograms
+    (:class:`~repro.telemetry.histogram.LogHistogram`) and bounded span
+    records for Perfetto export.
+
+All state hangs off ``world.telemetry`` (a :class:`WorldTelemetry`) and
+``ctx.telemetry`` (the rank's :class:`RankTelemetry`); both exist even
+in ``"off"`` mode so call sites never need existence checks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.telemetry.flight import DEFAULT_CAPACITY, FlightRecorder, merge_dump
+from repro.telemetry.histogram import LogHistogram
+
+MODES = ("off", "flight", "full")
+
+
+@dataclass
+class TelemetryConfig:
+    """Tuning knobs for the telemetry subsystem."""
+
+    #: "off" | "flight" | "full" (see module docstring).
+    mode: str = "off"
+    #: Flight-recorder ring capacity (events kept per rank).
+    flight_capacity: int = DEFAULT_CAPACITY
+    #: Upper bound on retained spans per rank (Perfetto export size).
+    max_spans: int = 20000
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"telemetry mode must be one of {MODES} (got {self.mode!r})"
+            )
+
+
+def resolve_config(telemetry) -> TelemetryConfig:
+    """Resolve the World ``telemetry=`` knob into a config.
+
+    Accepts ``None``/``False`` (off), ``True`` (full), a mode string,
+    a dict of :class:`TelemetryConfig` fields, or a ready config.
+    """
+    if telemetry is None or telemetry is False:
+        return TelemetryConfig(mode="off")
+    if telemetry is True:
+        return TelemetryConfig(mode="full")
+    if isinstance(telemetry, TelemetryConfig):
+        return telemetry
+    if isinstance(telemetry, str):
+        return TelemetryConfig(mode=telemetry)
+    if isinstance(telemetry, dict):
+        return TelemetryConfig(**telemetry)
+    raise ValueError(
+        f"telemetry= must be None, bool, a mode string {MODES}, a dict of "
+        f"TelemetryConfig fields, or a TelemetryConfig (got {telemetry!r})"
+    )
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed timed region (Perfetto "complete" event)."""
+
+    name: str
+    t0: float        # time.perf_counter() at start
+    dur: float       # seconds
+    rank: int
+    tid: int         # OS thread ident (for physically correct nesting)
+    detail: str = ""
+
+
+class RankTelemetry:
+    """Telemetry state owned by one rank.
+
+    The two gate attributes are plain bools read on hot paths:
+    ``active`` (any recording at all) and ``full`` (histograms + spans).
+    """
+
+    __slots__ = ("rank", "mode", "active", "full", "flight",
+                 "_hist", "_hist_lock", "_spans", "_span_lock",
+                 "spans_dropped", "max_spans")
+
+    def __init__(self, rank: int, config: TelemetryConfig):
+        self.rank = rank
+        self.mode = config.mode
+        self.active = config.mode != "off"
+        self.full = config.mode == "full"
+        self.flight = FlightRecorder(rank, config.flight_capacity)
+        self._hist: dict[str, LogHistogram] = {}
+        self._hist_lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._span_lock = threading.Lock()
+        self.spans_dropped = 0
+        self.max_spans = config.max_spans
+
+    # -- histograms -------------------------------------------------------
+    def histogram(self, name: str, unit: str = "ns") -> LogHistogram:
+        """Get-or-create the named histogram (stable across calls)."""
+        h = self._hist.get(name)
+        if h is None:
+            with self._hist_lock:
+                h = self._hist.setdefault(name, LogHistogram(name, unit))
+        return h
+
+    def record_latency(self, name: str, seconds: float) -> None:
+        """Record a latency sample (no-op unless mode == "full")."""
+        if self.full:
+            self.histogram(name).record_seconds(seconds)
+
+    def record_value(self, name: str, value: int, unit: str) -> None:
+        """Record a non-latency sample, e.g. a queue depth."""
+        if self.full:
+            self.histogram(name, unit=unit).record(value)
+
+    def histograms(self) -> dict[str, LogHistogram]:
+        with self._hist_lock:
+            return dict(self._hist)
+
+    # -- flight recorder --------------------------------------------------
+    def flight_event(self, kind: str, src: int = -1, dst: int = -1,
+                     nbytes: int = 0, detail: str = "") -> None:
+        if self.active:
+            self.flight.record(kind, src, dst, nbytes, detail)
+
+    # -- spans ------------------------------------------------------------
+    def record_span(self, name: str, t0: float, dur: float,
+                    detail: str = "") -> None:
+        """Retain a completed span for export (no-op unless "full")."""
+        if not self.full:
+            return
+        span = Span(name=name, t0=t0, dur=dur, rank=self.rank,
+                    tid=threading.get_ident(), detail=detail)
+        with self._span_lock:
+            if len(self._spans) >= self.max_spans:
+                self.spans_dropped += 1
+                return
+            self._spans.append(span)
+
+    def spans(self) -> list[Span]:
+        with self._span_lock:
+            return list(self._spans)
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-rank summary (histograms only; spans and the
+        flight ring have their own export paths)."""
+        return {
+            "rank": self.rank,
+            "mode": self.mode,
+            "histograms": {
+                name: h.snapshot() for name, h in self.histograms().items()
+            },
+            "flight_events": len(self.flight),
+            "spans": len(self._spans),
+            "spans_dropped": self.spans_dropped,
+        }
+
+
+class WorldTelemetry:
+    """The world-level aggregate: one :class:`RankTelemetry` per rank."""
+
+    def __init__(self, n_ranks: int, config: TelemetryConfig):
+        self.config = config
+        self.mode = config.mode
+        self.enabled = config.mode != "off"
+        self.full = config.mode == "full"
+        self.ranks = [RankTelemetry(r, config) for r in range(n_ranks)]
+        #: Stamped once at construction; spans/flight timestamps are
+        #: perf_counter values rebased against this for export.
+        self.t0 = time.perf_counter()
+
+    def rank(self, r: int) -> RankTelemetry:
+        return self.ranks[r]
+
+    # -- aggregation ------------------------------------------------------
+    def merged_histograms(self) -> dict[str, LogHistogram]:
+        """Cross-rank fold of every named histogram."""
+        merged: dict[str, LogHistogram] = {}
+        for rt in self.ranks:
+            for name, h in rt.histograms().items():
+                agg = merged.get(name)
+                if agg is None:
+                    agg = merged[name] = LogHistogram(name, h.unit)
+                agg.merge(h)
+        return merged
+
+    def metrics(self) -> dict:
+        """JSON-ready world summary: merged histograms + per-rank."""
+        return {
+            "mode": self.mode,
+            "histograms": {
+                name: h.snapshot()
+                for name, h in sorted(self.merged_histograms().items())
+            },
+            "per_rank": [rt.snapshot() for rt in self.ranks],
+        }
+
+    def all_spans(self) -> list[Span]:
+        return [s for rt in self.ranks for s in rt.spans()]
+
+    # -- flight recorder --------------------------------------------------
+    def dump_flight_recorder(self, header: str = "",
+                             limit_per_rank: int | None = None) -> str:
+        """The merged, human-readable black-box read-out."""
+        if not self.enabled:
+            return ("(flight recorder inactive: telemetry mode is 'off'; "
+                    "run with telemetry='flight' or 'full')\n")
+        return merge_dump((rt.flight for rt in self.ranks),
+                          header=header, limit_per_rank=limit_per_rank)

@@ -218,6 +218,7 @@ def test_chaos_is_visible_in_stats():
                           fault=0.15))
     assert agg["chaos_drops"] > 0
     assert agg["chaos_dups"] > 0
+    assert agg["chaos_reorders"] > 0
     assert agg["chaos_faults"] > 0
     assert agg["am_retransmits"] > 0     # drops were retried
     assert agg["dup_ams"] > 0            # duplicates were suppressed

@@ -50,3 +50,55 @@ def test_aggregate():
     assert total["puts"] == 2
     assert total["put_bytes"] == 3
     assert total["gets"] == 1
+
+
+def test_chaos_reorders_counted_snapshot_reset_aggregate():
+    s = CommStats()
+    s.record_chaos_reorder()
+    s.record_chaos_reorder()
+    s.record_chaos_drop()
+    assert s.snapshot()["chaos_reorders"] == 2
+    t = CommStats()
+    t.record_chaos_reorder()
+    assert aggregate([s, t])["chaos_reorders"] == 3
+    s.reset()
+    assert s.snapshot()["chaos_reorders"] == 0
+    assert s.snapshot()["chaos_drops"] == 0
+
+
+def test_derived_properties_consistent_under_concurrent_updates():
+    """messages/bytes_moved/coalescing_ratio read several counters; they
+    must come from one locked snapshot, never a torn multi-field read
+    (e.g. a put counted in ``puts`` but not yet in ``put_bytes``)."""
+    import threading
+
+    s = CommStats()
+    stop = threading.Event()
+    torn = []
+
+    def writer():
+        while not stop.is_set():
+            s.record_put_indexed(4, 32)
+
+    def reader():
+        while not stop.is_set():
+            snap = s.snapshot()
+            # Invariants that hold in every consistent state:
+            if snap["put_bytes"] != 8 * snap["batched_elements"]:
+                torn.append(snap)
+            if s.batched_ops and s.coalescing_ratio != 4.0:
+                torn.append("ratio")
+
+    threads = [threading.Thread(target=writer) for _ in range(2)] + \
+              [threading.Thread(target=reader) for _ in range(2)]
+    for t in threads:
+        t.start()
+    import time
+
+    time.sleep(0.2)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not torn
+    assert s.messages == s.batched_ops == s.snapshot()["puts_indexed"]
+    assert s.coalescing_ratio == 4.0

@@ -112,6 +112,201 @@ def test_trace_uninstalls_cleanly():
     assert all(run_spmd(body, ranks=2))
 
 
+class _Passthrough:
+    """A minimal decorating conduit, as another subsystem would install."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.world = inner.world
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def test_trace_exit_restores_exact_conduit():
+    """Exiting a Trace must splice out *its own* wrapper — not blindly
+    pop the outermost layer, which may belong to someone else by then."""
+    def body():
+        me = repro.myrank()
+        sa = repro.SharedArray(np.int64, size=2, block=1)
+        repro.barrier()
+        if me == 0:
+            world = repro.current_world()
+            original = world.conduit
+            trace = Trace(world)
+            with trace:
+                # Another decorator lands *inside* the with block and
+                # stays installed after it.
+                deco = _Passthrough(world.conduit)
+                world.conduit = deco
+                sa[1] = 1
+            # The foreign decorator survives; the tracing layer is gone
+            # from underneath it.
+            assert world.conduit is deco
+            assert deco._inner is original
+            assert trace.count(kind="put") == 1
+            world.conduit = original  # leave the world as found
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_trace_exit_idempotent():
+    def body():
+        me = repro.myrank()
+        sa = repro.SharedArray(np.int64, size=2, block=1)
+        repro.barrier()
+        if me == 0:
+            world = repro.current_world()
+            original = world.conduit
+            trace = Trace(world)
+            with pytest.raises(ValueError):
+                with trace:
+                    raise ValueError("boom")
+            assert world.conduit is original
+            trace.__exit__(None, None, None)  # second exit: no-op
+            assert world.conduit is original
+            sa[1] = 1  # the conduit still works
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_trace_exit_noop_if_wrapper_already_removed():
+    def body():
+        if repro.myrank() == 0:
+            world = repro.current_world()
+            original = world.conduit
+            trace = Trace(world)
+            trace.__enter__()
+            world.conduit = original  # someone force-uninstalled it
+            trace.__exit__(None, None, None)
+            assert world.conduit is original
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_trace_select_filters_combine():
+    def body():
+        me = repro.myrank()
+        sa = repro.SharedArray(np.int64, size=4, block=1)
+        repro.barrier()
+        out = True
+        if me == 0:
+            trace = Trace(repro.current_world())
+            with trace:
+                sa[1] = 1          # put -> rank 1
+                sa[2] = 2          # put -> rank 2
+                _ = sa[1]          # get -> rank 1
+                sa.atomic(3, "add", 1)  # atomic -> rank 3
+            assert trace.count() == 4
+            assert trace.count(kind="put") == 2
+            assert trace.count(dst=1) == 2
+            assert trace.count(kind="put", dst=1) == 1
+            assert trace.count(kind="get", src=0, dst=1) == 1
+            assert trace.count(kind="atomic", dst=3) == 1
+            assert trace.count(kind="put", dst=3) == 0
+            assert [ev.dst for ev in trace.select(kind="put")] == [1, 2]
+        repro.barrier()
+        return out
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_trace_matrix_and_partners_filter_by_kind():
+    def body():
+        me = repro.myrank()
+        sa = repro.SharedArray(np.int64, size=4, block=1)
+        repro.barrier()
+        if me == 0:
+            trace = Trace(repro.current_world())
+            with trace:
+                sa[1] = 1
+                sa[1] = 2
+                _ = sa[2]
+            m_all = trace.matrix()
+            assert m_all[0, 1] == 2 and m_all[0, 2] == 1
+            assert m_all.sum() == 3
+            m_put = trace.matrix(kind="put")
+            assert m_put[0, 1] == 2 and m_put[0, 2] == 0
+            assert trace.partners(0) == {1, 2}
+            assert trace.partners(3) == set()
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_control_events_reach_trace_through_reliable_chaos():
+    """retransmit/dup_suppressed/chaos_* control events climb from the
+    inner layers to the outermost conduit's ``trace_control`` hook."""
+    from repro.gasnet import ChaosConduit
+
+    def body():
+        me, n = repro.myrank(), repro.ranks()
+        repro.barrier()
+        trace = Trace(repro.current_world()) if me == 0 else None
+        repro.barrier()
+        if me == 0:
+            trace.__enter__()
+        repro.barrier()
+        for _ in range(15):
+            with repro.finish():
+                repro.async_((me + 1) % n)(abs, -1)
+        repro.barrier()
+        kinds = None
+        if me == 0:
+            trace.__exit__(None, None, None)
+            kinds = {ev.kind for ev in trace.events}
+        repro.barrier()
+        return kinds
+
+    conduit = ChaosConduit(seed=3, am_drop_rate=0.25, am_dup_rate=0.25,
+                           am_reorder_rate=0.1)
+    kinds = repro.spmd(body, ranks=2, conduit=conduit,
+                       reliability={"seed": 3, "ack_timeout": 0.005},
+                       timeout=30.0)[0]
+    # Injected chaos and the reliability layer's reactions are all
+    # visible alongside the ordinary op events.
+    assert "am" in kinds
+    assert "retransmit" in kinds
+    assert "dup_suppressed" in kinds
+    assert kinds & {"chaos_drop", "chaos_dup", "chaos_reorder"}
+
+
+def test_trace_control_forwards_down_the_chain():
+    """A stacked consumer below a Trace still receives control events
+    (the telemetry flight recorder relies on this)."""
+    def body():
+        me = repro.myrank()
+        repro.barrier()
+        if me == 0:
+            world = repro.current_world()
+            seen = []
+
+            class _Sink(_Passthrough):
+                def trace_control(self, kind, src, dst, nbytes=0,
+                                  detail=""):
+                    seen.append(kind)
+
+            original = world.conduit
+            world.conduit = _Sink(original)
+            trace = Trace(world)
+            with trace:
+                world.conduit.trace_control("retransmit", 0, 1)
+            assert trace.count(kind="retransmit") == 1
+            assert seen == ["retransmit"]
+            world.conduit = original
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
 def test_trace_timestamps_monotone():
     def body():
         if repro.myrank() == 0:

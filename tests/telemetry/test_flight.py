@@ -1,0 +1,53 @@
+"""Flight recorder ring + merged dump unit tests."""
+
+from repro.telemetry import FlightRecorder, merge_dump
+
+
+def test_ring_is_bounded_and_counts_evictions():
+    rec = FlightRecorder(rank=0, capacity=4)
+    for i in range(10):
+        rec.record("ev", detail=str(i))
+    assert len(rec) == 4
+    assert rec.dropped == 6
+    # The ring keeps the *newest* events.
+    assert [ev.detail for ev in rec.snapshot()] == ["6", "7", "8", "9"]
+
+
+def test_clear_resets_ring_and_dropped():
+    rec = FlightRecorder(rank=0, capacity=2)
+    for _ in range(5):
+        rec.record("ev")
+    rec.clear()
+    assert len(rec) == 0
+    assert rec.dropped == 0
+
+
+def test_merge_dump_orders_across_ranks():
+    a, b = FlightRecorder(0, capacity=8), FlightRecorder(1, capacity=8)
+    a.record("first", src=0, dst=1, nbytes=8)
+    b.record("second", src=1, dst=0)
+    a.record("third")
+    text = merge_dump([a, b], header="CommTimeout: stuck op")
+    assert "FLIGHT RECORDER DUMP" in text
+    assert "trigger: CommTimeout: stuck op" in text
+    assert "rank 0: 2 events" in text
+    assert "rank 1: 1 events" in text
+    # Time-ordered: first < second < third in the merged body.
+    body = text[text.index("-" * 72):]
+    assert body.index("first") < body.index("second") < body.index("third")
+    assert "0->1 8B" in text
+
+
+def test_merge_dump_notes_evictions_and_limit():
+    rec = FlightRecorder(0, capacity=3)
+    for i in range(6):
+        rec.record("ev", detail=f"e{i}")
+    text = merge_dump([rec], limit_per_rank=2)
+    assert "(3 older events evicted)" in text
+    assert "e4" in text and "e5" in text
+    assert "e3" not in text  # cut by limit_per_rank
+
+
+def test_merge_dump_empty():
+    text = merge_dump([FlightRecorder(0)])
+    assert "(no events recorded)" in text

@@ -1,0 +1,128 @@
+"""LogHistogram unit tests (no SPMD world needed)."""
+
+import threading
+
+from repro.telemetry import LogHistogram
+from repro.telemetry.histogram import N_BUCKETS
+
+
+def test_bucket_placement():
+    h = LogHistogram("t")
+    h.record(0)       # bucket 0: exact zero
+    h.record(1)       # bucket 1: [1, 1]
+    h.record(2)       # bucket 2: [2, 3]
+    h.record(3)       # bucket 2
+    h.record(1024)    # bucket 11: [1024, 2047]
+    assert h.buckets[0] == 1
+    assert h.buckets[1] == 1
+    assert h.buckets[2] == 2
+    assert h.buckets[11] == 1
+    assert h.count == 5
+    assert h.total == 0 + 1 + 2 + 3 + 1024
+
+
+def test_huge_values_clamp_to_last_bucket():
+    h = LogHistogram("t")
+    h.record(1 << 200)
+    assert h.buckets[N_BUCKETS - 1] == 1
+    assert h.max_value == 1 << 200
+
+
+def test_negative_values_clamp_to_zero():
+    h = LogHistogram("t")
+    h.record(-5)
+    assert h.buckets[0] == 1
+    assert h.min_value == 0
+
+
+def test_exact_stats():
+    h = LogHistogram("t")
+    for v in (10, 20, 30):
+        h.record(v)
+    assert h.mean == 20.0
+    assert h.min_value == 10
+    assert h.max_value == 30
+
+
+def test_empty_histogram():
+    h = LogHistogram("t")
+    assert h.count == 0
+    assert h.mean == 0.0
+    assert h.percentile(50) == 0.0
+    snap = h.snapshot()
+    assert snap["count"] == 0
+    assert snap["buckets"] == {}
+
+
+def test_percentiles_monotone_and_bounded():
+    h = LogHistogram("t")
+    for v in range(1, 1001):
+        h.record(v)
+    p50, p90, p99 = h.p50, h.p90, h.p99
+    assert 1 <= p50 <= p90 <= p99 <= 1000
+    # Interpolation keeps the median in the right order of magnitude
+    # (bucketed accuracy is ~half a bucket).
+    assert 250 <= p50 <= 1000
+
+
+def test_percentile_exact_for_single_value():
+    h = LogHistogram("t")
+    for _ in range(10):
+        h.record(100)
+    # min == max == 100 clamps interpolation to the exact value.
+    assert h.p50 == 100
+    assert h.p99 == 100
+
+
+def test_record_seconds_stores_nanoseconds():
+    h = LogHistogram("lat")
+    h.record_seconds(1e-6)  # 1 us = 1000 ns
+    assert h.count == 1
+    assert h.total == 1000
+    assert h.unit == "ns"
+
+
+def test_merge_folds_counts_and_extrema():
+    a, b = LogHistogram("t"), LogHistogram("t")
+    a.record(1)
+    a.record(100)
+    b.record(50)
+    b.record(10_000)
+    a.merge(b)
+    assert a.count == 4
+    assert a.total == 1 + 100 + 50 + 10_000
+    assert a.min_value == 1
+    assert a.max_value == 10_000
+
+
+def test_snapshot_shape():
+    h = LogHistogram("t", unit="items")
+    h.record(5)
+    snap = h.snapshot()
+    assert snap["unit"] == "items"
+    assert snap["count"] == 1
+    assert snap["sum"] == 5
+    assert snap["min"] == snap["max"] == 5
+    assert snap["buckets"] == {"3": 1}  # 5.bit_length() == 3
+    assert snap["p50"] == 5.0
+    # JSON-ready: keys are strings, values plain numbers.
+    import json
+
+    json.dumps(snap)
+
+
+def test_concurrent_records_lose_nothing():
+    h = LogHistogram("t")
+    n, per = 8, 1000
+
+    def worker():
+        for _ in range(per):
+            h.record(7)
+
+    threads = [threading.Thread(target=worker) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert h.count == n * per
+    assert h.total == 7 * n * per
