@@ -20,7 +20,8 @@ The public API mirrors the paper's ``upcxx`` namespace:
     repro.spmd(main, ranks=4)
 
 Sub-packages: :mod:`repro.core` (the UPC++ model), :mod:`repro.arrays`
-(Titanium-style multidimensional arrays), :mod:`repro.gasnet` (the
+(Titanium-style multidimensional arrays), :mod:`repro.containers`
+(distributed data structures), :mod:`repro.gasnet` (the
 communication substrate), :mod:`repro.compat` (UPC and MPI veneers),
 :mod:`repro.sim` (machine performance models), :mod:`repro.bench` (the
 paper's five case studies).
@@ -60,6 +61,7 @@ from repro.core import (
     ranks,
     spmd,
 )
+from repro.containers import DistHashMap, DistQueue
 from repro.errors import (
     BadPointer,
     CommTimeout,
@@ -83,6 +85,7 @@ __all__ = [
     "copy", "async_copy", "async_copy_fence", "CopyHandle",
     "Event", "Future", "async_", "async_after", "async_wait", "finish",
     "Team", "GlobalLock", "collectives", "DistWorkQueue",
+    "DistHashMap", "DistQueue",
     "PgasError", "NotInSpmdRegion", "PeerFailure", "SegmentOutOfMemory",
     "BadPointer", "CommTimeout", "SerializationError", "DomainError",
     "TransientCommError", "RankDead", "die",

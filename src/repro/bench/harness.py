@@ -421,6 +421,36 @@ def _per_op_microbench(iters: int = 200, reps: int = 3) -> dict:
     return out
 
 
+def export_kv(path: str, ranks: int = 4) -> dict:
+    """KV workload smoke -> structured ``BENCH_4.json``.
+
+    Runs :func:`repro.bench.kv_workload.run` and writes per-op
+    p50/p99, throughput, coalescing ratio, cache hit rate, and the
+    batched-vs-scalar microbenchmark.  CI uploads the file as an
+    artifact (the start of the KV perf trajectory) and asserts the
+    coalescing and speedup acceptance bounds from it.
+    """
+    import dataclasses
+    import json
+
+    from repro.bench import kv_workload
+
+    r = kv_workload.run(ranks=ranks)
+    out = dataclasses.asdict(r)
+    with open(path, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {path}")
+    print(f"  {r.ops_per_sec:.0f} ops/s  "
+          f"get p50/p99 {r.get_p50_us:.0f}/{r.get_p99_us:.0f} us  "
+          f"hit rate {r.cache_hit_rate:.1%}  "
+          f"coalescing {r.coalescing_ratio:.1f} keys/AM")
+    print(f"  multi_get(1k): {r.ams_per_multi} AMs, "
+          f"x{r.multi_speedup:.1f} vs per-key loop, "
+          f"verified={r.verified}")
+    return out
+
+
 def export_perfetto(path: str, ranks: int = 4,
                     keys_per_rank: int = 2048) -> None:
     """4-rank sample sort -> Chrome/Perfetto ``trace_event`` JSON.
@@ -496,16 +526,22 @@ def main(argv=None) -> int:
     parser.add_argument("--perfetto", metavar="PATH",
                         help="run a traced sample sort and write a "
                              "Chrome/Perfetto trace_event JSON")
+    parser.add_argument("--kv", metavar="PATH",
+                        help="run the DistHashMap KV workload and write "
+                             "per-op p50/p99, coalescing ratio and cache "
+                             "hit rate as JSON")
     args = parser.parse_args(argv)
     global _CHARTS
     _CHARTS = args.charts
-    if args.metrics or args.perfetto:
+    if args.metrics or args.perfetto or args.kv:
         if args.metrics:
             export_metrics(args.metrics,
                            ranks=args.validate_ranks or 4)
         if args.perfetto:
             export_perfetto(args.perfetto,
                             ranks=args.validate_ranks or 4)
+        if args.kv:
+            export_kv(args.kv, ranks=args.validate_ranks or 4)
         if not (args.artifacts or args.calibrate or args.validate_ranks):
             return 0
     wanted = args.artifacts or list(ARTIFACTS)

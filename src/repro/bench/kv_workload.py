@@ -1,0 +1,224 @@
+"""YCSB-style key-value workload over :class:`repro.DistHashMap`.
+
+The north-star workload the containers exist for: every rank runs a
+read-heavy mix (zipf-ish hot set) against one sharded map, with periodic
+batched ``multi_get`` scans, and reports the numbers a serving system is
+judged by — per-op p50/p99, throughput, cache hit rate, and the
+coalescing ratio of the batched path.
+
+Two phases:
+
+1. **mixed phase** — each rank issues ``ops_per_rank`` operations:
+   ``read_fraction`` point gets (skewed toward a hot set), the rest puts
+   into the rank's own disjoint key stripe (shadowed locally so the run
+   self-verifies), and every ``multi_every``-th op a ``multi_get`` of
+   ``multi_batch`` random keys;
+2. **microbenchmark** — on an uncached map, rank 0 times one
+   ``multi_get`` of ``microbench_keys`` keys against the equivalent
+   per-key ``get`` loop, counting request AMs for the batched call.
+   This is the acceptance gate: ≤ nranks AMs per ``multi_get`` and a
+   ≥ 5× speedup over the scalar loop.
+
+Run as a module (``python -m repro.bench.kv_workload``) or through the
+harness (``python -m repro.bench.harness --kv BENCH.json``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+import repro
+from repro.core import collectives
+from repro.gasnet.stats import aggregate
+
+
+@dataclass
+class KvResult:
+    ranks: int
+    keys: int
+    ops_per_rank: int
+    read_fraction: float
+    # mixed-phase latency percentiles (microseconds, across all ranks)
+    get_p50_us: float
+    get_p99_us: float
+    put_p50_us: float
+    put_p99_us: float
+    multi_p50_us: float
+    multi_p99_us: float
+    ops_per_sec: float
+    cache_hit_rate: float
+    coalescing_ratio: float
+    # microbenchmark (rank 0, uncached map): one multi_get of
+    # ``microbench_keys`` keys vs the equivalent per-key get loop
+    ams_per_multi: int
+    multi_us: float
+    loop_us: float
+    multi_speedup: float
+    verified: bool
+    stats: dict = field(default_factory=dict)
+
+
+def _percentiles(lat_us: list) -> tuple:
+    if not lat_us:
+        return 0.0, 0.0
+    arr = np.asarray(lat_us)
+    return float(np.percentile(arr, 50)), float(np.percentile(arr, 99))
+
+
+def run(ranks: int = 4, keys: int = 2048, ops_per_rank: int = 1500,
+        read_fraction: float = 0.9, multi_every: int = 8,
+        multi_batch: int = 64, value_size: int = 32,
+        cache: bool = True, hot_fraction: float = 0.1,
+        hot_weight: float = 0.8, microbench_keys: int = 1000,
+        seed: int = 0, conduit=None, reliability=None,
+        telemetry=None) -> KvResult:
+    """Run the workload at ``ranks`` ranks and gather one result."""
+    holder: dict = {}
+
+    def body():
+        me = repro.myrank()
+        n = repro.ranks()
+        rng = np.random.default_rng((seed << 8) ^ me)
+        m = repro.DistHashMap(cache=cache)
+        keyspace = [f"key:{i:06d}" for i in range(keys)]
+        hot = keyspace[:max(1, int(keys * hot_fraction))]
+        filler = "v" * value_size
+
+        # -- preload: each rank bulk-loads its stripe in one multi_put
+        m.multi_put({k: (filler, i) for i, k in enumerate(keyspace)
+                     if i % n == me})
+        repro.barrier()
+        ctx = repro.current_world().ranks[me]
+        ctx.stats.reset()
+        repro.barrier()
+
+        # -- mixed phase
+        get_lat: list = []
+        put_lat: list = []
+        multi_lat: list = []
+        # Writes go to a per-rank disjoint stripe, shadowed locally, so
+        # the verification below needs no cross-rank ordering argument.
+        my_writes: dict = {}
+        write_keys = [k for i, k in enumerate(keyspace) if i % n == me]
+        t_phase = time.perf_counter()
+        for op in range(ops_per_rank):
+            if multi_every and op % multi_every == multi_every - 1:
+                batch = [keyspace[i] for i in
+                         rng.integers(0, keys, size=multi_batch)]
+                t0 = time.perf_counter()
+                m.multi_get(batch)
+                multi_lat.append((time.perf_counter() - t0) * 1e6)
+            elif rng.random() < read_fraction:
+                pool = hot if rng.random() < hot_weight else keyspace
+                k = pool[int(rng.integers(len(pool)))]
+                t0 = time.perf_counter()
+                m.get(k)
+                get_lat.append((time.perf_counter() - t0) * 1e6)
+            else:
+                k = write_keys[int(rng.integers(len(write_keys)))]
+                v = (filler, int(rng.integers(1 << 30)))
+                t0 = time.perf_counter()
+                m.put(k, v)
+                put_lat.append((time.perf_counter() - t0) * 1e6)
+                my_writes[k] = v
+        phase_s = time.perf_counter() - t_phase
+        repro.barrier()
+
+        # -- verify: this rank's writes read back exactly (disjoint
+        # stripes, so last-writer-wins is this rank's own last write)
+        m.refresh()
+        ok = True
+        if my_writes:
+            wk = sorted(my_writes)
+            got = m.multi_get(wk)
+            ok = all(g == my_writes[k] for k, g in zip(wk, got))
+        ok = collectives.allreduce(ok, op="and")
+
+        agg = None
+        if me == 0:
+            agg = aggregate([r.stats for r in repro.current_world().ranks])
+            holder["world"] = repro.current_world()
+        repro.barrier()
+
+        # -- microbenchmark: batched vs per-key gets on an uncached map.
+        # Ranks != 0 block in the barrier below; blocked ranks poll
+        # their progress engine, so they keep serving rank 0's AMs.
+        mb = repro.DistHashMap(cache=False)
+        mb_keys = [f"mb:{i:06d}" for i in range(microbench_keys)]
+        if me == 0:
+            mb.multi_put({k: i for i, k in enumerate(mb_keys)})
+            before = ctx.stats.snapshot()["ams_sent"]
+            t0 = time.perf_counter()
+            mb.multi_get(mb_keys)
+            multi_s = time.perf_counter() - t0
+            ams_per_multi = ctx.stats.snapshot()["ams_sent"] - before
+            t0 = time.perf_counter()
+            for k in mb_keys:
+                mb.get(k)
+            loop_s = time.perf_counter() - t0
+            micro = (ams_per_multi, multi_s, loop_s)
+        else:
+            micro = None
+        repro.barrier()
+
+        lats = collectives.gather((get_lat, put_lat, multi_lat), root=0)
+        return (me, ok, phase_s, m.cache_hit_rate, agg, micro, lats)
+
+    res = repro.spmd(body, ranks=ranks, conduit=conduit,
+                     reliability=reliability, telemetry=telemetry)
+    by_rank = {r[0]: r for r in res}
+    _, _, _, _, agg, micro, lats = by_rank[0]
+    verified = all(r[1] for r in res)
+    phase_s = max(r[2] for r in res)
+    total_ops = ops_per_rank * ranks
+    get_all = [u for g, _p, _m in lats for u in g]
+    put_all = [u for _g, p, _m in lats for u in p]
+    multi_all = [u for _g, _p, mm in lats for u in mm]
+    get_p50, get_p99 = _percentiles(get_all)
+    put_p50, put_p99 = _percentiles(put_all)
+    multi_p50, multi_p99 = _percentiles(multi_all)
+    ams_per_multi, multi_s, loop_s = micro
+    hits = agg["kv_cache_hits"]
+    misses = agg["kv_cache_misses"]
+    mops = agg["kv_multi_ops"]
+    return KvResult(
+        ranks=ranks, keys=keys, ops_per_rank=ops_per_rank,
+        read_fraction=read_fraction,
+        get_p50_us=get_p50, get_p99_us=get_p99,
+        put_p50_us=put_p50, put_p99_us=put_p99,
+        multi_p50_us=multi_p50, multi_p99_us=multi_p99,
+        ops_per_sec=total_ops / phase_s if phase_s > 0 else 0.0,
+        cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+        coalescing_ratio=(agg["kv_batched_keys"] / mops) if mops else 0.0,
+        ams_per_multi=ams_per_multi,
+        multi_us=multi_s * 1e6,
+        loop_us=loop_s * 1e6,
+        multi_speedup=loop_s / multi_s if multi_s > 0 else 0.0,
+        verified=verified,
+        stats=agg,
+    )
+
+
+def main() -> int:
+    r = run()
+    print(f"kv workload: {r.ranks} ranks, {r.keys} keys, "
+          f"{r.ops_per_rank} ops/rank, {r.read_fraction:.0%} reads")
+    print(f"  throughput       {r.ops_per_sec:12.0f} ops/s")
+    print(f"  get  p50/p99     {r.get_p50_us:8.1f} / {r.get_p99_us:8.1f} us")
+    print(f"  put  p50/p99     {r.put_p50_us:8.1f} / {r.put_p99_us:8.1f} us")
+    print(f"  multi p50/p99    {r.multi_p50_us:8.1f} / "
+          f"{r.multi_p99_us:8.1f} us")
+    print(f"  cache hit rate   {r.cache_hit_rate:12.1%}")
+    print(f"  coalescing       {r.coalescing_ratio:12.1f} keys/AM")
+    print(f"  multi_get(1k)    {r.ams_per_multi} AMs, {r.multi_us:.0f} us "
+          f"vs {r.loop_us:.0f} us per-key loop "
+          f"(x{r.multi_speedup:.1f})")
+    print(f"  verified         {r.verified}")
+    return 0 if r.verified else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

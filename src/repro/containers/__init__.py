@@ -1,0 +1,26 @@
+"""``repro.containers`` — distributed data structures on the PGAS runtime.
+
+The paper's §III-E directory idiom (a ``shared_array`` of per-rank
+handles) is the seed of library-level containers in the DASH mold:
+structures whose storage is partitioned across ranks and whose methods
+compile down to the runtime's one-sided primitives and active messages.
+
+* :class:`DistHashMap` — keys hash-sharded across ranks; owner-side
+  storage served by AM handlers; ``put/get/delete/update`` plus batched
+  ``multi_get``/``multi_put`` that coalesce into one AM per owning rank;
+  optional per-rank read-through cache with epoch-based invalidation.
+* :class:`DistQueue` — a FIFO/bag built on the
+  :class:`~repro.core.workqueue.DistWorkQueue` steal machinery for
+  producer/consumer workloads, with remote push.
+
+Both compose with the rest of the stack: exactly-once mutation under
+``ReliableConduit(ChaosConduit)``, ``kv_*`` counters in
+:class:`~repro.gasnet.stats.CommStats`, and ``kv_get``/``kv_put``/
+``kv_multi`` latency histograms plus flight-recorder events when
+telemetry is enabled.
+"""
+
+from repro.containers.hashmap import DistHashMap, shard_of
+from repro.containers.queue import DistQueue
+
+__all__ = ["DistHashMap", "DistQueue", "shard_of"]

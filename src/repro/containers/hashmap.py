@@ -1,0 +1,688 @@
+"""A distributed hash map, sharded across ranks by key hash.
+
+Design
+------
+* **Sharding** — :func:`shard_of` maps a key to its owning rank by a
+  stable hash of the pickled key.  All storage for a key lives on its
+  owner; there is no replication.
+* **Owner-side storage** — each rank keeps a plain dict per map in its
+  scratch space, mutated only by AM handlers (or the owner's own local
+  fast path) under the rank's handler lock, so every mutation is
+  serialized at the owner exactly like the paper's owner-queued locks.
+* **Batched ops** — ``multi_get``/``multi_put`` group keys by owning
+  rank and issue **one AM per owner**, all in flight concurrently
+  (futures gathered at the end) — the AM-level analogue of the indexed
+  conduit batching contract; coalescing lands in the ``kv_multi_ops``/
+  ``kv_batched_keys`` CommStats counters.
+* **Read-through cache** — with ``cache=True`` each rank memoizes
+  values it fetched, keyed by owning rank.  Every owner keeps one
+  ``cache_epoch`` per map, bumped on any mutation and piggybacked on
+  every reply; a client that observes a newer epoch drops its cached
+  entries for that owner.  Invalidation is therefore *best-effort
+  between contacts*: a rank that never talks to an owner learns nothing
+  — call :meth:`DistHashMap.refresh` (or take any miss) to revalidate.
+* **Exactly-once update()** — read-modify-write travels with a
+  per-client op-id; the owner records the result of each applied op
+  (the AM-level form of the reliable conduit's old-value-recording
+  atomics), so a client that retries after a lost reply gets the
+  recorded result back instead of a second application.
+
+Consistency model: relaxed.  A ``get`` may return a stale cached value
+until the client next contacts the owner; owner-side operations are
+linearizable per key (the owner applies them one at a time).
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import time
+import zlib
+from collections import OrderedDict
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.core import collectives
+from repro.core.collectives import _copy_value as _copy
+from repro.core.directory import Directory
+from repro.core.world import RankState, current
+from repro.errors import CommTimeout, PgasError
+from repro.gasnet.am import am_handler
+
+_MISSING = object()
+
+#: Owner-side per-map state lives in the rank's scratch space (the same
+#: pattern as the distributed work queues).
+_SCRATCH_KEY = "kv_maps"
+
+#: Applied-update results each owner retains per map: the exactly-once
+#: dedup window for client-level retries after a lost reply.
+APPLIED_WINDOW = 4096
+
+#: Named read-modify-write ops resolvable at the owner (no pickling of
+#: code objects needed).  ``update()`` also accepts any picklable
+#: callable ``fn(old, *args) -> new``.
+UPDATE_OPS: dict[str, Callable] = {
+    "add": lambda old, arg: old + arg,
+    "sub": lambda old, arg: old - arg,
+    "mul": lambda old, arg: old * arg,
+    "max": lambda old, arg: max(old, arg),
+    "min": lambda old, arg: min(old, arg),
+    "append": lambda old, arg: old + [arg],
+}
+
+
+def shard_of(key: Any, nranks: int) -> int:
+    """Owning rank of ``key``: a stable hash of the pickled key.
+
+    Stable across runs (unlike ``hash()``, which is salted for str),
+    so layouts — and therefore benchmarks — are reproducible.
+    """
+    return zlib.crc32(pickle.dumps(key, protocol=4)) % nranks
+
+
+def _resolve_update(op) -> Callable:
+    if callable(op):
+        return op
+    try:
+        return UPDATE_OPS[op]
+    except (KeyError, TypeError):
+        raise PgasError(
+            f"unknown update op {op!r}; pass a callable or one of "
+            f"{sorted(UPDATE_OPS)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# owner side: storage + AM handlers
+# ---------------------------------------------------------------------------
+
+def _shard(ctx: RankState, map_id: int) -> dict:
+    """This rank's shard of map ``map_id`` (create on first touch)."""
+    tbl = ctx.scratch.setdefault(_SCRATCH_KEY, {})
+    sh = tbl.get(map_id)
+    if sh is None:
+        sh = tbl[map_id] = {
+            "store": {},                 # key -> value (owner's truth)
+            "epoch": 0,                  # bumped on every mutation
+            "applied": OrderedDict(),    # (src, op_id) -> (epoch, value)
+        }
+    return sh
+
+
+def _owner_put(ctx: RankState, map_id: int, items: dict) -> int:
+    sh = _shard(ctx, map_id)
+    sh["store"].update(items)
+    sh["epoch"] += 1
+    return sh["epoch"]
+
+
+def _owner_get(ctx: RankState, map_id: int, keys: list) -> tuple:
+    sh = _shard(ctx, map_id)
+    store = sh["store"]
+    return sh["epoch"], [
+        (True, store[k]) if k in store else (False, None) for k in keys
+    ]
+
+
+def _owner_delete(ctx: RankState, map_id: int, keys: list) -> tuple:
+    sh = _shard(ctx, map_id)
+    store = sh["store"]
+    n = 0
+    for k in keys:
+        if k in store:
+            del store[k]
+            n += 1
+    if n:
+        sh["epoch"] += 1
+    return sh["epoch"], n
+
+
+def _owner_update(ctx: RankState, map_id: int, src: int, op_id: int,
+                  key: Any, fn: Callable, args: tuple,
+                  default: Any, has_default: bool) -> tuple:
+    """Apply ``fn(old, *args)`` at the owner, exactly once per
+    (src, op_id): a duplicate (client retry after a lost reply) gets the
+    recorded result back without re-applying."""
+    sh = _shard(ctx, map_id)
+    dedup = (src, op_id)
+    hit = sh["applied"].get(dedup)
+    if hit is not None:
+        return hit
+    store = sh["store"]
+    if key in store:
+        old = store[key]
+    elif has_default:
+        old = default
+    else:
+        raise KeyError(key)
+    new = fn(old, *args)
+    store[key] = new
+    sh["epoch"] += 1
+    rec = (sh["epoch"], new)
+    applied = sh["applied"]
+    applied[dedup] = rec
+    while len(applied) > APPLIED_WINDOW:
+        applied.popitem(last=False)
+    return rec
+
+
+@am_handler("kv_put")
+def _kv_put_handler(ctx: RankState, am) -> None:
+    (map_id,) = am.args
+    epoch = _owner_put(ctx, map_id, pickle.loads(am.payload))
+    ctx.reply(am, args=(epoch,))
+
+
+@am_handler("kv_get")
+def _kv_get_handler(ctx: RankState, am) -> None:
+    (map_id,) = am.args
+    epoch, found = _owner_get(ctx, map_id, pickle.loads(am.payload))
+    ctx.reply(am, args=(epoch,),
+              payload=pickle.dumps(found, protocol=-1))
+
+
+@am_handler("kv_del")
+def _kv_del_handler(ctx: RankState, am) -> None:
+    (map_id,) = am.args
+    epoch, n = _owner_delete(ctx, map_id, pickle.loads(am.payload))
+    ctx.reply(am, args=(epoch, n))
+
+
+@am_handler("kv_update")
+def _kv_update_handler(ctx: RankState, am) -> None:
+    map_id, op_id = am.args
+    key, op, fargs, default, has_default = pickle.loads(am.payload)
+    epoch, new = _owner_update(
+        ctx, map_id, am.src_rank, op_id, key, _resolve_update(op),
+        fargs, default, has_default,
+    )
+    ctx.reply(am, args=(epoch,), payload=pickle.dumps(new, protocol=-1))
+
+
+@am_handler("kv_epoch")
+def _kv_epoch_handler(ctx: RankState, am) -> None:
+    (map_id,) = am.args
+    ctx.reply(am, args=(_shard(ctx, map_id)["epoch"],))
+
+
+@am_handler("kv_size")
+def _kv_size_handler(ctx: RankState, am) -> None:
+    (map_id,) = am.args
+    sh = _shard(ctx, map_id)
+    ctx.reply(am, args=(sh["epoch"], len(sh["store"])))
+
+
+# ---------------------------------------------------------------------------
+# client side
+# ---------------------------------------------------------------------------
+
+class DistHashMap:
+    """Hash-sharded distributed map; collective constructor.
+
+    >>> m = DistHashMap()            # on every rank
+    >>> m.put("user:1", {"n": 1})    # lands on shard_of("user:1")
+    >>> m.multi_get(keys)            # one AM per owning rank
+
+    Parameters
+    ----------
+    cache:
+        Enable the per-rank read-through cache (epoch-invalidated).
+    retry_attempts:
+        Client-level retries of an op whose reply timed out (only
+        reachable under a reliability layer with per-op deadlines).
+        ``update`` stays exactly-once across retries via owner-side
+        op-id dedup; put/delete are idempotent.
+    """
+
+    def __init__(self, cache: bool = True, retry_attempts: int = 4):
+        ctx = current()
+        mid = next(ctx.world._dir_ids) if ctx.rank == 0 else None
+        self.map_id = collectives.bcast(mid, root=0)
+        self.nranks = ctx.world.n_ranks
+        self.retry_attempts = max(1, int(retry_attempts))
+        self._op_seq = itertools.count(1)
+        self._cache_enabled = bool(cache)
+        self._cache: dict[int, dict] = {r: {} for r in range(self.nranks)}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        with ctx._handler_lock:
+            sh = _shard(ctx, self.map_id)  # exists before any traffic
+        # Construction rendezvous: publish (type, id, epoch) and fetch
+        # every rank's slot with one concurrent lookup_all.  Catches
+        # misordered collective construction (rank A built a map where
+        # rank B built a queue — the id bcasts would silently cross) and
+        # seeds the per-owner epoch table for cache validation.
+        self._dir = Directory()
+        self._dir.publish(("DistHashMap", self.map_id, sh["epoch"]))
+        collectives.barrier()
+        infos = self._dir.lookup_all()
+        for r, info in enumerate(infos):
+            kind, mid_r = info[0], info[1]
+            if kind != "DistHashMap" or mid_r != self.map_id:
+                raise PgasError(
+                    f"rank {r} constructed {kind}#{mid_r} where this rank "
+                    f"constructed DistHashMap#{self.map_id}; collective "
+                    f"constructors must run in the same order on all ranks"
+                )
+        self._epochs = {r: infos[r][2] for r in range(self.nranks)}
+
+    # -- plumbing ----------------------------------------------------------
+    def owner_of(self, key: Any) -> int:
+        """The rank whose shard stores ``key``."""
+        return shard_of(key, self.nranks)
+
+    def _note_epoch(self, owner: int, epoch: int) -> None:
+        """Piggybacked epoch from a reply: a newer value invalidates
+        everything cached from that owner."""
+        if epoch > self._epochs.get(owner, -1):
+            self._epochs[owner] = epoch
+            if self._cache_enabled:
+                self._cache[owner].clear()
+
+    def _request(self, ctx: RankState, owner: int, handler: str,
+                 args: tuple, payload, what: str):
+        """One request AM with bounded retry on a timed-out reply."""
+        attempt = 0
+        while True:
+            fut = ctx.send_am(owner, handler, args=args, payload=payload,
+                              expect_reply=True)
+            try:
+                return fut.get()
+            except CommTimeout:
+                attempt += 1
+                if attempt >= self.retry_attempts:
+                    raise
+                ctx.telemetry.flight_event(
+                    "kv_retry", src=ctx.rank, dst=owner, detail=what,
+                )
+
+    # -- point ops ---------------------------------------------------------
+    def put(self, key: Any, value: Any) -> None:
+        """Store ``key -> value`` at its owner (last writer wins)."""
+        ctx = current()
+        tel = ctx.telemetry
+        t0 = time.perf_counter() if tel.full else 0.0
+        owner = self.owner_of(key)
+        if owner == ctx.rank:
+            with ctx._handler_lock:
+                epoch = _owner_put(ctx, self.map_id, {key: _copy(value)})
+            ctx.stats.record_local()
+        else:
+            if tel.active:
+                tel.flight_event("kv_put", src=ctx.rank, dst=owner,
+                                 detail=repr(key)[:48])
+            (epoch, *_), _pl = self._request(
+                ctx, owner, "kv_put", (self.map_id,),
+                pickle.dumps({key: value}, protocol=-1),
+                what=f"kv_put({key!r})",
+            )
+        ctx.stats.record_kv_put()
+        self._note_epoch(owner, epoch)
+        if self._cache_enabled and owner != ctx.rank:
+            self._cache[owner][key] = _copy(value)  # write-through
+        if tel.full:
+            tel.record_latency("kv_put", time.perf_counter() - t0)
+
+    def get(self, key: Any, default: Any = _MISSING) -> Any:
+        """Fetch ``key`` (cache first); KeyError unless ``default``."""
+        ctx = current()
+        tel = ctx.telemetry
+        t0 = time.perf_counter() if tel.full else 0.0
+        owner = self.owner_of(key)
+        ctx.stats.record_kv_get()
+        if owner == ctx.rank:
+            sh = _shard(ctx, self.map_id)
+            with ctx._handler_lock:
+                present = key in sh["store"]
+                val = _copy(sh["store"][key]) if present else None
+            ctx.stats.record_local()
+            if tel.full:
+                tel.record_latency("kv_get", time.perf_counter() - t0)
+            if present:
+                return val
+            if default is not _MISSING:
+                return default
+            raise KeyError(key)
+        if self._cache_enabled:
+            cached = self._cache[owner]
+            if key in cached:
+                self.cache_hits += 1
+                ctx.stats.record_kv_cache(True)
+                if tel.full:
+                    tel.record_latency("kv_get", time.perf_counter() - t0)
+                # Copy on the way out: gets hand back private values
+                # everywhere, so a caller mutating its result can never
+                # corrupt the cache (or, via the SMP by-reference
+                # conduit, the owner's store).
+                return _copy(cached[key])
+            self.cache_misses += 1
+            ctx.stats.record_kv_cache(False)
+        if tel.active:
+            tel.flight_event("kv_get", src=ctx.rank, dst=owner,
+                             detail=repr(key)[:48])
+        (epoch, *_), payload = self._request(
+            ctx, owner, "kv_get", (self.map_id,),
+            pickle.dumps([key], protocol=-1), what=f"kv_get({key!r})",
+        )
+        [(found, val)] = pickle.loads(payload)
+        self._note_epoch(owner, epoch)
+        if found and self._cache_enabled:
+            self._cache[owner][key] = val
+            val = _copy(val)  # the cached object stays private
+        if tel.full:
+            tel.record_latency("kv_get", time.perf_counter() - t0)
+        if found:
+            return val
+        if default is not _MISSING:
+            return default
+        raise KeyError(key)
+
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        ctx = current()
+        owner = self.owner_of(key)
+        if owner == ctx.rank:
+            with ctx._handler_lock:
+                epoch, n = _owner_delete(ctx, self.map_id, [key])
+            ctx.stats.record_local()
+        else:
+            if ctx.telemetry.active:
+                ctx.telemetry.flight_event(
+                    "kv_del", src=ctx.rank, dst=owner,
+                    detail=repr(key)[:48],
+                )
+            (epoch, n), _pl = self._request(
+                ctx, owner, "kv_del", (self.map_id,),
+                pickle.dumps([key], protocol=-1), what=f"kv_del({key!r})",
+            )
+        ctx.stats.record_kv_delete()
+        self._note_epoch(owner, epoch)
+        return n > 0
+
+    def update(self, key: Any, op, *args, default: Any = _MISSING) -> Any:
+        """Atomic read-modify-write at the owner; returns the new value.
+
+        ``op`` is a name from :data:`UPDATE_OPS` or a picklable callable
+        ``fn(old, *args) -> new``.  ``default`` seeds a missing key.
+        Exactly-once even when the reply is lost and the call retries:
+        the owner dedups on (rank, op-id) and replays the recorded
+        result — the AM-level twin of the reliable conduit's
+        old-value-recording atomics.
+        """
+        ctx = current()
+        tel = ctx.telemetry
+        t0 = time.perf_counter() if tel.full else 0.0
+        owner = self.owner_of(key)
+        op_id = next(self._op_seq)
+        has_default = default is not _MISSING
+        ctx.stats.record_kv_update()
+        if owner == ctx.rank:
+            with ctx._handler_lock:
+                epoch, new = _owner_update(
+                    ctx, self.map_id, ctx.rank, op_id, key,
+                    _resolve_update(op), tuple(_copy(a) for a in args),
+                    _copy(default) if has_default else None, has_default,
+                )
+                new = _copy(new)
+            ctx.stats.record_local()
+        else:
+            _resolve_update(op)  # fail fast on a bogus name
+            if tel.active:
+                tel.flight_event("kv_update", src=ctx.rank, dst=owner,
+                                 detail=repr(key)[:48])
+            payload = pickle.dumps(
+                (key, op, args, default if has_default else None,
+                 has_default), protocol=-1,
+            )
+            (epoch, *_), pl = self._request(
+                ctx, owner, "kv_update", (self.map_id, op_id), payload,
+                what=f"kv_update({key!r})#op{op_id}",
+            )
+            new = pickle.loads(pl)
+        self._note_epoch(owner, epoch)
+        if self._cache_enabled and owner != ctx.rank:
+            self._cache[owner][key] = _copy(new)
+        if tel.full:
+            tel.record_latency("kv_put", time.perf_counter() - t0)
+        return new
+
+    # -- batched ops -------------------------------------------------------
+    def multi_get(self, keys: Iterable[Any],
+                  default: Any = _MISSING) -> list:
+        """Fetch many keys with **one AM per owning rank**, issued
+        concurrently; returns values aligned with ``keys``.
+
+        Cache hits and locally-owned keys never touch the wire; only
+        the remaining misses are coalesced.  KeyError on any missing
+        key unless ``default`` is given.
+        """
+        keys = list(keys)
+        if not keys:
+            return []
+        ctx = current()
+        tel = ctx.telemetry
+        t0 = time.perf_counter() if tel.full else 0.0
+        out: list = [_MISSING] * len(keys)
+        missing: list = []
+        by_owner: dict[int, dict[Any, list[int]]] = {}
+        sh = _shard(ctx, self.map_id)
+        for pos, k in enumerate(keys):
+            owner = self.owner_of(k)
+            if owner == ctx.rank:
+                with ctx._handler_lock:
+                    present = k in sh["store"]
+                    val = _copy(sh["store"][k]) if present else None
+                ctx.stats.record_local()
+                if present:
+                    out[pos] = val
+                else:
+                    missing.append(k)
+                    out[pos] = None if default is _MISSING else default
+                continue
+            if self._cache_enabled and k in self._cache[owner]:
+                self.cache_hits += 1
+                ctx.stats.record_kv_cache(True)
+                out[pos] = _copy(self._cache[owner][k])
+                continue
+            if self._cache_enabled:
+                self.cache_misses += 1
+                ctx.stats.record_kv_cache(False)
+            by_owner.setdefault(owner, {}).setdefault(k, []).append(pos)
+        n_remote = sum(len(kmap) for kmap in by_owner.values())
+        ctx.stats.record_kv_get(len(keys))
+        if by_owner:
+            ctx.stats.record_kv_multi(len(by_owner), n_remote)
+            if tel.active:
+                tel.flight_event(
+                    "kv_multi_get", src=ctx.rank, dst=-1,
+                    detail=f"{n_remote} keys -> {len(by_owner)} owners",
+                )
+        # Issue every owner's AM before gathering any reply — the
+        # round trips overlap instead of serializing.
+        pending = {
+            owner: (list(kmap), ctx.send_am(
+                owner, "kv_get", args=(self.map_id,),
+                payload=pickle.dumps(list(kmap), protocol=-1),
+                expect_reply=True,
+            ))
+            for owner, kmap in by_owner.items()
+        }
+        attempt = 0
+        while pending:
+            failed: dict = {}
+            for owner, (klist, fut) in pending.items():
+                try:
+                    (epoch, *_), payload = fut.get()
+                except CommTimeout:
+                    failed[owner] = klist
+                    continue
+                found = pickle.loads(payload)
+                self._note_epoch(owner, epoch)
+                for k, (ok, val) in zip(klist, found):
+                    if ok and self._cache_enabled:
+                        self._cache[owner][k] = val
+                        # keep the cached object private to the cache
+                        val = _copy(val)
+                    for pos in by_owner[owner][k]:
+                        if ok:
+                            out[pos] = val
+                        else:
+                            missing.append(k)
+                            out[pos] = (None if default is _MISSING
+                                        else default)
+            pending = {}
+            if failed:
+                attempt += 1
+                if attempt >= self.retry_attempts:
+                    raise CommTimeout(
+                        f"multi_get: owners {sorted(failed)} unreachable "
+                        f"after {attempt} attempts"
+                    )
+                pending = {
+                    owner: (klist, ctx.send_am(
+                        owner, "kv_get", args=(self.map_id,),
+                        payload=pickle.dumps(klist, protocol=-1),
+                        expect_reply=True,
+                    ))
+                    for owner, klist in failed.items()
+                }
+        if tel.full:
+            tel.record_latency("kv_multi", time.perf_counter() - t0)
+        if missing and default is _MISSING:
+            raise KeyError(missing[0])
+        return out
+
+    def multi_put(self, items) -> None:
+        """Store many pairs with one AM per owning rank (concurrent).
+
+        ``items`` is a mapping or an iterable of ``(key, value)``.
+        Observes no write-through (a bulk load would evict the working
+        set); the epoch bump invalidates affected owners' caches.
+        """
+        pairs = list(items.items()) if isinstance(items, Mapping) \
+            else list(items)
+        if not pairs:
+            return
+        ctx = current()
+        tel = ctx.telemetry
+        t0 = time.perf_counter() if tel.full else 0.0
+        by_owner: dict[int, dict] = {}
+        for k, v in pairs:
+            by_owner.setdefault(self.owner_of(k), {})[k] = v
+        ctx.stats.record_kv_put(len(pairs))
+        local = by_owner.pop(ctx.rank, None)
+        if local is not None:
+            with ctx._handler_lock:
+                epoch = _owner_put(
+                    ctx, self.map_id,
+                    {k: _copy(v) for k, v in local.items()},
+                )
+            ctx.stats.record_local(len(local))
+            self._note_epoch(ctx.rank, epoch)
+        if by_owner:
+            n_remote = sum(len(d) for d in by_owner.values())
+            ctx.stats.record_kv_multi(len(by_owner), n_remote)
+            if tel.active:
+                tel.flight_event(
+                    "kv_multi_put", src=ctx.rank, dst=-1,
+                    detail=f"{n_remote} keys -> {len(by_owner)} owners",
+                )
+        pending = {
+            owner: ctx.send_am(
+                owner, "kv_put", args=(self.map_id,),
+                payload=pickle.dumps(chunk, protocol=-1),
+                expect_reply=True,
+            )
+            for owner, chunk in by_owner.items()
+        }
+        attempt = 0
+        while pending:
+            failed: list = []
+            for owner, fut in pending.items():
+                try:
+                    (epoch, *_), _pl = fut.get()
+                except CommTimeout:
+                    failed.append(owner)
+                    continue
+                self._note_epoch(owner, epoch)
+            pending = {}
+            if failed:
+                attempt += 1
+                if attempt >= self.retry_attempts:
+                    raise CommTimeout(
+                        f"multi_put: owners {sorted(failed)} unreachable "
+                        f"after {attempt} attempts"
+                    )
+                pending = {
+                    owner: ctx.send_am(
+                        owner, "kv_put", args=(self.map_id,),
+                        payload=pickle.dumps(by_owner[owner], protocol=-1),
+                        expect_reply=True,
+                    )
+                    for owner in failed
+                }
+        if tel.full:
+            tel.record_latency("kv_multi", time.perf_counter() - t0)
+
+    # -- cache control -----------------------------------------------------
+    def refresh(self) -> None:
+        """Revalidate the cache: fetch every owner's current epoch with
+        concurrently issued AMs and drop entries from shards that moved
+        (the explicit fence of the relaxed consistency model)."""
+        ctx = current()
+        if not self._cache_enabled:
+            return
+        futs = {
+            r: ctx.send_am(r, "kv_epoch", args=(self.map_id,),
+                           expect_reply=True)
+            for r in range(self.nranks) if r != ctx.rank
+        }
+        for r, fut in futs.items():
+            (epoch, *_), _pl = fut.get()
+            self._note_epoch(r, epoch)
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached entry unconditionally."""
+        for d in self._cache.values():
+            d.clear()
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    # -- introspection -----------------------------------------------------
+    def __contains__(self, key: Any) -> bool:
+        return self.get(key, default=_MISSING2) is not _MISSING2
+
+    def local_size(self) -> int:
+        """Entries stored in the calling rank's shard."""
+        ctx = current()
+        return len(_shard(ctx, self.map_id)["store"])
+
+    def local_keys(self) -> list:
+        ctx = current()
+        with ctx._handler_lock:
+            return list(_shard(ctx, self.map_id)["store"])
+
+    def size(self) -> int:
+        """Global entry count (non-collective: owners answer AMs
+        concurrently; callers racing with writers see a fuzzy count)."""
+        ctx = current()
+        futs = [
+            ctx.send_am(r, "kv_size", args=(self.map_id,),
+                        expect_reply=True)
+            for r in range(self.nranks) if r != ctx.rank
+        ]
+        total = self.local_size()
+        for fut in futs:
+            (_epoch, count), _pl = fut.get()
+            total += count
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"DistHashMap(id={self.map_id}, shards={self.nranks}, "
+                f"cache={'on' if self._cache_enabled else 'off'})")
+
+
+_MISSING2 = object()

@@ -1,0 +1,113 @@
+"""A distributed FIFO/bag built on the work-stealing machinery.
+
+:class:`DistQueue` layers producer/consumer semantics over
+:class:`~repro.core.workqueue.DistWorkQueue`: items pushed locally land
+in the caller's deque, items pushed to another rank travel by active
+message, and consumers drain via the steal-half policy — so a queue fed
+on one rank still keeps every rank busy.  Ordering is FIFO per
+(producer, target) pair and unordered globally (it is a *bag* with FIFO
+bias, which is what load-balanced consumption requires).
+
+Remote push is exactly-once under ``ReliableConduit(ChaosConduit)``:
+the push AM is sequenced/deduped by the reliability layer, and the
+outstanding-items counter is bumped by the *producer* (an exactly-once
+retried atomic) before the item is shipped, so the quiesce count can
+never read zero while a pushed item is in flight.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from typing import Any, Iterable, Optional
+
+from repro.core.workqueue import DistWorkQueue, _table
+from repro.core.world import RankState, current
+from repro.gasnet.am import am_handler
+
+
+@am_handler("dq_push")
+def _dq_push_handler(ctx: RankState, am) -> None:
+    """Target side of a remote push: append the shipped items."""
+    (qid,) = am.args
+    items = pickle.loads(am.payload)
+    _table(ctx).setdefault(qid, deque()).extend(items)
+    ctx.reply(am, args=(len(items),))
+
+
+class DistQueue:
+    """Distributed multi-producer/multi-consumer queue.  Collective ctor.
+
+    >>> q = DistQueue()                    # on every rank
+    >>> q.put(job)                         # local enqueue
+    >>> q.put(job, to=2)                   # enqueue on rank 2
+    >>> while (item := q.get()) is not None:
+    ...     handle(item)                   # auto_ack marks it done
+
+    ``auto_ack=True`` (default) counts an item as completed the moment
+    ``get`` returns it.  Pass ``auto_ack=False`` to ack explicitly with
+    :meth:`task_done` — then ``get`` returns ``None`` only once every
+    claimed item was acked, the at-least-processed contract inherited
+    from the work queue's quiesce counter.
+    """
+
+    def __init__(self, auto_ack: bool = True, seed: int = 0):
+        self._wq = DistWorkQueue(seed=seed)
+        self.qid = self._wq.qid
+        self.auto_ack = bool(auto_ack)
+        self.pushed_remote = 0
+
+    # -- producing ---------------------------------------------------------
+    def put(self, item: Any, to: Optional[int] = None) -> None:
+        """Enqueue one item, locally or on rank ``to``."""
+        self.put_many([item], to=to)
+
+    def put_many(self, items: Iterable[Any], to: Optional[int] = None) -> int:
+        """Enqueue many items on one rank; returns the count."""
+        ctx = current()
+        items = list(items)
+        if not items:
+            return 0
+        if to is None or to == ctx.rank:
+            return self._wq.add_local(items)
+        # Producer bumps the quiesce counter *before* shipping: the
+        # counter is an exactly-once retried atomic, so a reordered or
+        # retried push can never let outstanding() touch zero while the
+        # items are in flight.
+        self._wq._outstanding.atomic("add", len(items))
+        fut = ctx.send_am(
+            to, "dq_push", args=(self.qid,),
+            payload=pickle.dumps(items, protocol=-1), expect_reply=True,
+        )
+        (n, *_), _pl = fut.get()
+        self.pushed_remote += n
+        if ctx.telemetry.active:
+            ctx.telemetry.flight_event(
+                "dq_push", src=ctx.rank, dst=to, detail=f"{n} items"
+            )
+        return n
+
+    # -- consuming ---------------------------------------------------------
+    def get(self, max_steal_rounds: int = 0) -> Optional[Any]:
+        """Dequeue an item (stealing when local work runs out); ``None``
+        once the queue has globally quiesced."""
+        item = self._wq.get(max_steal_rounds=max_steal_rounds)
+        if item is not None and self.auto_ack:
+            self._wq.task_done()
+        return item
+
+    def task_done(self, n: int = 1) -> None:
+        """Ack ``n`` claimed items (only with ``auto_ack=False``)."""
+        self._wq.task_done(n)
+
+    # -- introspection -----------------------------------------------------
+    def local_size(self) -> int:
+        return self._wq.local_size()
+
+    def outstanding(self) -> int:
+        """Globally enqueued-but-unacked items."""
+        return self._wq.outstanding()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"DistQueue(id={self.qid}, "
+                f"auto_ack={'on' if self.auto_ack else 'off'})")

@@ -75,6 +75,34 @@ class Directory:
             self._cache[rank] = obj
         return obj
 
+    def lookup_all(self, cached: bool = True) -> list:
+        """Fetch every rank's slot, indexed by rank.
+
+        All remote request AMs are issued up front and the reply futures
+        gathered afterwards, so the round trips overlap — one
+        longest-RTT wait instead of N sequential ones.  This is the
+        constructor-rendezvous path for the distributed containers.
+        """
+        ctx = current()
+        futs = {}
+        for rank in range(ctx.world.n_ranks):
+            if rank == ctx.rank or (cached and rank in self._cache):
+                continue
+            futs[rank] = ctx.send_am(
+                rank, "dir_get", args=(self.dir_id,), expect_reply=True
+            )
+        out = []
+        for rank in range(ctx.world.n_ranks):
+            if rank in futs:
+                _args, blob = futs[rank].get()
+                obj = pickle.loads(blob)
+                if cached:
+                    self._cache[rank] = obj
+                out.append(obj)
+            else:
+                out.append(self.lookup(rank, cached=cached))
+        return out
+
     def publish_and_sync(self, obj: Any) -> None:
         """Publish, then barrier — the common collective setup idiom."""
         self.publish(obj)

@@ -52,6 +52,16 @@ class CommStats:
     chaos_dups: int = 0
     chaos_reorders: int = 0
     chaos_faults: int = 0
+    # Distributed containers (repro.containers): per-key op counts and
+    # the multi-op coalescing/caching counters.
+    kv_gets: int = 0
+    kv_puts: int = 0
+    kv_deletes: int = 0
+    kv_updates: int = 0
+    kv_multi_ops: int = 0
+    kv_batched_keys: int = 0
+    kv_cache_hits: int = 0
+    kv_cache_misses: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_put(self, nbytes: int) -> None:
@@ -165,6 +175,37 @@ class CommStats:
         with self._lock:
             self.chaos_faults += 1
 
+    # -- distributed containers -------------------------------------------
+    def record_kv_get(self, count: int = 1) -> None:
+        with self._lock:
+            self.kv_gets += count
+
+    def record_kv_put(self, count: int = 1) -> None:
+        with self._lock:
+            self.kv_puts += count
+
+    def record_kv_delete(self, count: int = 1) -> None:
+        with self._lock:
+            self.kv_deletes += count
+
+    def record_kv_update(self) -> None:
+        with self._lock:
+            self.kv_updates += 1
+
+    def record_kv_multi(self, ams: int, nkeys: int) -> None:
+        """One ``multi_get``/``multi_put`` that coalesced ``nkeys``
+        remote keys into ``ams`` owner-targeted active messages."""
+        with self._lock:
+            self.kv_multi_ops += ams
+            self.kv_batched_keys += nkeys
+
+    def record_kv_cache(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.kv_cache_hits += 1
+            else:
+                self.kv_cache_misses += 1
+
     # ------------------------------------------------------------------
     # Derived properties read several counters that a concurrent
     # record_* may be mid-update on, so they all go through snapshot()
@@ -185,12 +226,24 @@ class CommStats:
 
     @property
     def coalescing_ratio(self) -> float:
-        """Average elements carried per batched conduit op (0.0 when no
-        batched ops were issued) — how many scalar RMAs each batch
-        replaced."""
+        """Average elements carried per batched operation (0.0 when no
+        batched ops were issued) — how many scalar accesses each batch
+        replaced.  Covers both indexed RMA (elements per conduit op) and
+        container multi-ops (remote keys per owner-targeted AM)."""
         s = self.snapshot()
-        ops = s["puts_indexed"] + s["gets_indexed"] + s["atomic_batches"]
-        return s["batched_elements"] / ops if ops else 0.0
+        ops = (s["puts_indexed"] + s["gets_indexed"] + s["atomic_batches"]
+               + s["kv_multi_ops"])
+        if not ops:
+            return 0.0
+        return (s["batched_elements"] + s["kv_batched_keys"]) / ops
+
+    @property
+    def kv_cache_hit_rate(self) -> float:
+        """Fraction of cacheable container reads served locally (0.0
+        when the cache saw no traffic)."""
+        s = self.snapshot()
+        total = s["kv_cache_hits"] + s["kv_cache_misses"]
+        return s["kv_cache_hits"] / total if total else 0.0
 
     @property
     def bytes_moved(self) -> int:
@@ -229,6 +282,14 @@ class CommStats:
                 "chaos_dups": self.chaos_dups,
                 "chaos_reorders": self.chaos_reorders,
                 "chaos_faults": self.chaos_faults,
+                "kv_gets": self.kv_gets,
+                "kv_puts": self.kv_puts,
+                "kv_deletes": self.kv_deletes,
+                "kv_updates": self.kv_updates,
+                "kv_multi_ops": self.kv_multi_ops,
+                "kv_batched_keys": self.kv_batched_keys,
+                "kv_cache_hits": self.kv_cache_hits,
+                "kv_cache_misses": self.kv_cache_misses,
             }
 
     def reset(self) -> None:
@@ -247,6 +308,10 @@ class CommStats:
             self.heartbeats_sent = 0
             self.chaos_drops = self.chaos_dups = 0
             self.chaos_reorders = self.chaos_faults = 0
+            self.kv_gets = self.kv_puts = 0
+            self.kv_deletes = self.kv_updates = 0
+            self.kv_multi_ops = self.kv_batched_keys = 0
+            self.kv_cache_hits = self.kv_cache_misses = 0
 
 
 def aggregate(stats: list[CommStats]) -> dict:

@@ -1,0 +1,38 @@
+"""KV workload benchmark: smoke run + the batching acceptance gate."""
+
+import json
+
+from repro.bench import kv_workload
+from repro.bench.harness import export_kv
+
+
+def test_smoke_and_acceptance(tmp_path):
+    r = kv_workload.run(ranks=4, keys=512, ops_per_rank=200,
+                        multi_every=8, multi_batch=32,
+                        microbench_keys=1000)
+    assert r.verified
+    # The batching contract: 1k keys at 4 ranks coalesce into at most
+    # nranks request AMs, >= 5x faster than the per-key loop.
+    assert r.ams_per_multi <= r.ranks
+    assert r.multi_speedup >= 5.0, r.multi_speedup
+    assert r.coalescing_ratio > 1.0
+    assert 0.0 <= r.cache_hit_rate <= 1.0
+    assert r.get_p99_us >= r.get_p50_us > 0.0
+    assert r.ops_per_sec > 0
+    # kv traffic visible in the aggregated CommStats
+    assert r.stats["kv_gets"] > 0
+    assert r.stats["kv_multi_ops"] > 0
+    assert r.stats["kv_batched_keys"] >= r.stats["kv_multi_ops"]
+
+
+def test_export_kv_writes_json(tmp_path, capsys):
+    path = tmp_path / "BENCH.json"
+    out = export_kv(str(path), ranks=2)
+    data = json.loads(path.read_text())
+    assert data == json.loads(json.dumps(out))
+    for field in ("get_p50_us", "get_p99_us", "put_p50_us", "put_p99_us",
+                  "coalescing_ratio", "cache_hit_rate", "ams_per_multi",
+                  "multi_speedup", "verified"):
+        assert field in data
+    assert data["verified"] is True
+    assert "wrote" in capsys.readouterr().out

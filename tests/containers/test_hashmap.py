@@ -1,0 +1,226 @@
+"""DistHashMap: sharding, point ops, batching, cache, telemetry."""
+
+import pickle
+import zlib
+
+import pytest
+
+import repro
+from repro.containers import DistHashMap, shard_of
+from repro.core import collectives
+from repro.errors import PgasError
+from tests.conftest import run_spmd
+
+
+def test_shard_of_stable_and_in_range():
+    for key in ["a", ("k", 3), 17, b"bytes", frozenset({1, 2})]:
+        owner = shard_of(key, 4)
+        assert 0 <= owner < 4
+        assert owner == shard_of(key, 4)  # deterministic
+        assert owner == zlib.crc32(pickle.dumps(key, protocol=4)) % 4
+
+
+def test_put_get_delete_roundtrip(nranks):
+    def body():
+        me = repro.myrank()
+        m = DistHashMap()
+        m.put(("user", me), {"rank": me})
+        repro.barrier()
+        for r in range(repro.ranks()):
+            assert m.get(("user", r)) == {"rank": r}
+        with pytest.raises(KeyError):
+            m.get("absent")
+        assert m.get("absent", default=0) == 0
+        repro.barrier()
+        if me == 0:
+            assert m.delete(("user", 0)) is True
+            assert m.delete(("user", 0)) is False
+        repro.barrier()
+        m.refresh()
+        assert m.get(("user", 0), default="gone") == "gone"
+        assert m.size() == repro.ranks() - 1
+        return True
+
+    assert all(run_spmd(body, ranks=nranks))
+
+
+def test_values_cross_ranks_by_value():
+    """Mutating a value after put (or the returned value after get) must
+    not reach into the owner's store — SMP passes references."""
+    def body():
+        me = repro.myrank()
+        m = DistHashMap()
+        if me == 0:
+            v = [1, 2]
+            m.put("k", v)
+            v.append(3)  # must not be visible to anyone
+        repro.barrier()
+        got = m.get("k")
+        assert got == [1, 2]
+        got.append(99)  # must not corrupt the store or the cache
+        assert m.get("k") == [1, 2] or got is not m.get("k")
+        repro.barrier()
+        m.invalidate_cache()
+        assert m.get("k") == [1, 2]
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_multi_get_multi_put_alignment():
+    def body():
+        me = repro.myrank()
+        m = DistHashMap()
+        if me == 0:
+            m.multi_put([(f"k{i}", i * i) for i in range(64)])
+        repro.barrier()
+        m.refresh()
+        keys = [f"k{i}" for i in range(64)] + ["missing", "k0"]
+        vals = m.multi_get(keys, default=-1)
+        assert vals == [i * i for i in range(64)] + [-1, 0]
+        with pytest.raises(KeyError):
+            m.multi_get(["k1", "nope"])
+        assert m.multi_get([]) == []
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_multi_get_issues_one_am_per_owner():
+    """The batching contract: 1k keys at 4 ranks -> <= 3 request AMs."""
+    def body():
+        me = repro.myrank()
+        m = DistHashMap(cache=False)
+        keys = [f"key:{i}" for i in range(1000)]
+        if me == 0:
+            m.multi_put({k: i for i, k in enumerate(keys)})
+            ctx = repro.current_world().ranks[0]
+            before = ctx.stats.snapshot()["ams_sent"]
+            vals = m.multi_get(keys)
+            ams = ctx.stats.snapshot()["ams_sent"] - before
+            assert vals == list(range(1000))
+            assert ams <= repro.ranks() - 1, ams
+            s = ctx.stats.snapshot()
+            assert s["kv_multi_ops"] <= 2 * (repro.ranks() - 1)
+            assert s["kv_batched_keys"] >= 1000
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_update_named_ops_and_callable():
+    def body():
+        me = repro.myrank()
+        m = DistHashMap()
+        m.update("sum", "add", 1, default=0)
+        m.update("peak", "max", me, default=-1)
+        repro.barrier()
+        m.refresh()
+        assert m.get("sum") == repro.ranks()
+        assert m.get("peak") == repro.ranks() - 1
+        if me == 0:
+            with pytest.raises(KeyError):
+                m.update("absent", "add", 1)  # no default -> KeyError
+            with pytest.raises(PgasError):
+                m.update("sum", "no-such-op", 1)
+            assert m.update("lst", _snoc, 7, default=[]) == [7]
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def _snoc(old, x):
+    return old + [x]
+
+
+def test_cache_hits_and_epoch_invalidation():
+    def body():
+        me = repro.myrank()
+        m = DistHashMap(cache=True)
+        owner_probe = "probe"
+        if me == 0:
+            m.put(owner_probe, 1)
+        repro.barrier()
+        readers = [r for r in range(repro.ranks())
+                   if r != shard_of(owner_probe, repro.ranks())]
+        if me == readers[0]:
+            assert m.get(owner_probe) == 1      # miss, fills cache
+            assert m.get(owner_probe) == 1      # hit
+            assert m.cache_hits >= 1
+            # Owner-side mutation bumps the epoch; the next op that
+            # contacts the owner observes it and drops the stale entry.
+            m.update(owner_probe, "add", 10)    # via owner: epoch moves
+            assert m.get(owner_probe) == 11
+        repro.barrier()
+        # refresh() is the explicit fence: after it, everyone sees 11.
+        m.refresh()
+        assert m.get(owner_probe) == 11
+        repro.barrier()
+        nc = DistHashMap(cache=False)
+        nc.put(("x", me), me)
+        repro.barrier()
+        assert nc.cache_hit_rate == 0.0
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_two_maps_are_isolated():
+    """Collectively constructed maps get distinct ids and never see
+    each other's keys (the ctor rendezvous guard underwrites this)."""
+    def body():
+        me = repro.myrank()
+        a = DistHashMap()
+        b = DistHashMap()
+        assert a.map_id != b.map_id
+        a.put(("k", me), "a")
+        repro.barrier()
+        assert b.get(("k", me), default=None) is None
+        assert b.size() == 0
+        assert a.size() == repro.ranks()
+        return True
+
+    assert all(run_spmd(body, ranks=3))
+
+
+def test_kv_telemetry_histograms_and_flight():
+    def body():
+        me = repro.myrank()
+        m = DistHashMap()
+        m.put(("k", me), me)
+        repro.barrier()
+        m.multi_get([("k", r) for r in range(repro.ranks())])
+        m.get(("k", (me + 1) % repro.ranks()))
+        repro.barrier()
+        tel = repro.current_world().ranks[me].telemetry
+        flight_n = len(tel.flight)
+        merged = set()
+        if me == 0:
+            merged = set(
+                repro.current_world().telemetry.merged_histograms()
+            )
+        repro.barrier()
+        return merged, flight_n
+
+    res = run_spmd(body, ranks=4, telemetry="full")
+    names = res[0][0]
+    assert {"kv_put", "kv_get", "kv_multi"} <= names
+    assert any(flight_n > 0 for _names, flight_n in res)
+
+
+def test_contains_and_local_introspection():
+    def body():
+        me = repro.myrank()
+        m = DistHashMap()
+        m.put(("mine", me), me)
+        repro.barrier()
+        assert ("mine", 0) in m
+        assert ("nope",) not in m
+        total = collectives.allreduce(m.local_size())
+        assert total == repro.ranks()
+        assert all(k in m for k in m.local_keys())
+        return True
+
+    assert all(run_spmd(body, ranks=3))

@@ -1,0 +1,123 @@
+"""DistQueue: FIFO/bag semantics, remote push, stealing, reliability."""
+
+import pytest
+
+import repro
+from repro.containers import DistQueue
+from repro.core import collectives
+from repro.errors import PgasError
+from repro.gasnet import ChaosConduit
+from tests.conftest import run_spmd
+
+
+def test_local_fifo_order():
+    def body():
+        q = DistQueue()
+        if repro.myrank() == 0:
+            q.put_many(["a", "b", "c"])
+            got = [q.get(), q.get(), q.get()]
+            assert got == ["a", "b", "c"]  # local pops preserve FIFO
+        repro.barrier()
+        assert q.get() is None
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_remote_push_lands_on_target():
+    def body():
+        me = repro.myrank()
+        q = DistQueue()
+        if me == 0:
+            for r in range(1, repro.ranks()):
+                q.put(("job", r), to=r)
+            assert q.pushed_remote == repro.ranks() - 1
+        repro.barrier()
+        if me != 0:
+            assert q.local_size() == 1
+            assert q.get(max_steal_rounds=1) == ("job", me)
+        repro.barrier()
+        # Drain to quiesce so every rank's final get() agrees.
+        while q.get() is not None:
+            pass
+        assert q.outstanding() == 0
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_single_producer_all_consume_exactly_once():
+    """One rank seeds everything; stealing spreads it; the union of the
+    claims is exactly the seeded set."""
+    def body():
+        me = repro.myrank()
+        q = DistQueue()
+        n_items = 60
+        if me == 0:
+            q.put_many(list(range(n_items)))
+        repro.barrier()
+        got = []
+        while (it := q.get()) is not None:
+            got.append(it)
+        all_got = collectives.gather(got, root=0)
+        if me == 0:
+            flat = sorted(x for chunk in all_got for x in chunk)
+            assert flat == list(range(n_items))  # exactly once, no loss
+        repro.barrier()
+        return len(got)
+
+    counts = run_spmd(body, ranks=4)
+    assert sum(counts) == 60
+
+
+def test_explicit_ack_mode():
+    def body():
+        me = repro.myrank()
+        q = DistQueue(auto_ack=False)
+        if me == 0:
+            q.put_many([1, 2])
+        repro.barrier()
+        if me == 0:
+            a = q.get(max_steal_rounds=1)
+            assert a is not None
+            assert q.outstanding() == 2  # claimed but not acked
+            q.task_done()
+            b = q.get(max_steal_rounds=1)
+            q.task_done()
+            assert {a, b} == {1, 2}
+            with pytest.raises(PgasError):
+                q.task_done(0)
+        repro.barrier()
+        assert q.get() is None  # quiesced for everyone
+        return True
+
+    assert all(run_spmd(body, ranks=2))
+
+
+def test_remote_push_exactly_once_under_chaos():
+    """Pushed items survive drops/dups/reorders without loss or
+    duplication: the reliable layer dedups the push AM and the producer
+    bumps the quiesce counter with an exactly-once atomic."""
+    def body():
+        me = repro.myrank()
+        q = DistQueue()
+        per_rank = 10
+        for i in range(per_rank):
+            q.put((me, i), to=(me + 1) % repro.ranks())
+        repro.barrier()
+        got = []
+        while (it := q.get()) is not None:
+            got.append(it)
+        all_got = collectives.gather(got, root=0)
+        if me == 0:
+            flat = sorted(x for chunk in all_got for x in chunk)
+            want = sorted((r, i) for r in range(repro.ranks())
+                          for i in range(per_rank))
+            assert flat == want
+        repro.barrier()
+        return True
+
+    conduit = ChaosConduit(seed=7, am_drop_rate=0.08, am_dup_rate=0.08,
+                           am_reorder_rate=0.08)
+    assert all(run_spmd(body, ranks=3, conduit=conduit,
+                        reliability={"seed": 7}, timeout=60.0))

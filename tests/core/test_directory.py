@@ -108,3 +108,25 @@ def test_paper_idiom_directory_of_ndarrays():
         return True
 
     assert all(run_spmd(body, ranks=3))
+
+
+def test_lookup_all_gathers_every_slot():
+    def body():
+        me = repro.myrank()
+        d = repro.Directory()
+        d.publish_and_sync(("slot", me))
+        assert d.lookup_all() == [("slot", r) for r in range(repro.ranks())]
+        # Second call is served from the memoized cache (no AMs).
+        ctx = repro.current_world().ranks[me]
+        before = ctx.stats.snapshot()["ams_sent"]
+        assert d.lookup_all() == [("slot", r) for r in range(repro.ranks())]
+        assert ctx.stats.snapshot()["ams_sent"] == before
+        # cached=False refetches the live slots.
+        d.publish(("fresh", me))
+        repro.barrier()
+        assert d.lookup_all(cached=False) == \
+            [("fresh", r) for r in range(repro.ranks())]
+        repro.barrier()
+        return True
+
+    assert all(run_spmd(body, ranks=4))

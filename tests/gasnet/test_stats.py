@@ -102,3 +102,46 @@ def test_derived_properties_consistent_under_concurrent_updates():
     assert not torn
     assert s.messages == s.batched_ops == s.snapshot()["puts_indexed"]
     assert s.coalescing_ratio == 4.0
+
+
+def test_kv_counters_snapshot_reset_aggregate():
+    s = CommStats()
+    s.record_kv_get()
+    s.record_kv_get(5)
+    s.record_kv_put(2)
+    s.record_kv_delete()
+    s.record_kv_update()
+    s.record_kv_multi(ams=3, nkeys=60)
+    s.record_kv_cache(True)
+    s.record_kv_cache(True)
+    s.record_kv_cache(False)
+    snap = s.snapshot()
+    assert snap["kv_gets"] == 6
+    assert snap["kv_puts"] == 2
+    assert snap["kv_deletes"] == 1
+    assert snap["kv_updates"] == 1
+    assert snap["kv_multi_ops"] == 3 and snap["kv_batched_keys"] == 60
+    assert snap["kv_cache_hits"] == 2 and snap["kv_cache_misses"] == 1
+    assert s.kv_cache_hit_rate == 2 / 3
+    t = CommStats()
+    t.record_kv_multi(ams=1, nkeys=10)
+    assert aggregate([s, t])["kv_batched_keys"] == 70
+    s.reset()
+    assert all(v == 0 for k, v in s.snapshot().items()
+               if k.startswith("kv_"))
+    assert s.kv_cache_hit_rate == 0.0
+
+
+def test_coalescing_ratio_covers_kv_traffic():
+    # RMA-only traffic: ratio unchanged from the PR 1 definition.
+    s = CommStats()
+    s.record_put_indexed(20, 160)
+    assert s.coalescing_ratio == 20.0
+    # Container multi-ops fold into the same elements-per-batched-op.
+    s.record_kv_multi(ams=3, nkeys=40)
+    assert s.coalescing_ratio == (20 + 40) / (1 + 3)
+    # KV-only traffic works too (no indexed RMA issued at all).
+    t = CommStats()
+    t.record_kv_multi(ams=2, nkeys=30)
+    assert t.coalescing_ratio == 15.0
+    assert CommStats().coalescing_ratio == 0.0

@@ -20,6 +20,7 @@ FAST = [
     "titanium_arrays.py",
     "distributed_sort.py",
     "periodic_advection.py",
+    "kv_store.py",
 ]
 
 SLOW = [
