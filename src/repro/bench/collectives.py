@@ -1,0 +1,200 @@
+"""Collectives microbenchmark — tree engine vs the retired centralized path.
+
+Measures per-collective latency and per-rank conduit traffic for the
+three shapes the engine optimises hardest:
+
+* ``barrier``   — dissemination, ceil(log2 P) AMs per rank;
+* ``allgather`` — Bruck doubling, ceil(log2 P) coalesced AMs per rank;
+* ``alltoallv`` — pairwise exchange, P-1 coalesced AMs per rank;
+
+each at several payload sizes, against an in-bench re-creation of the
+rendezvous-slot exchange the runtime used before the tree engine (one
+lock-protected dict every rank deposits into and spins on — the old
+path no longer exists in the library, so the baseline lives here).
+
+Also records the sample-sort phase spans (splitters / redistribute are
+collective-heavy) so the harness can track phase-level deltas, and
+self-checks the ISSUE's op-count bounds.  ``--collectives BENCH_5.json``
+on the harness writes the whole result for CI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+import repro
+from repro.core.world import current
+
+
+DEFAULT_PAYLOADS = (8, 1024, 65536)
+
+
+def ceil_log2(p: int) -> int:
+    return max(p - 1, 0).bit_length()
+
+
+# ------------------------------------------------------- baseline path
+
+def _centralized_exchange(value, seq: int):
+    """The retired rendezvous-slot allgather: every rank deposits its
+    contribution into one lock-serialized dict, spins until the last
+    depositor completes it, then extracts the full result.  O(P) lock
+    acquisitions on the critical path, zero conduit traffic — exactly
+    the shape :func:`repro.sim.centralized_exchange_time` models."""
+    ctx = current()
+    world = ctx.world
+    n = world.n_ranks
+    slots = world.__dict__.setdefault("_bench_rendezvous", {})
+    with world._glock:
+        slot = slots.setdefault(seq, {"vals": {}, "extracted": 0})
+        slot["vals"][ctx.rank] = value
+    ctx.wait_until(lambda: len(slot["vals"]) == n,
+                   what="bench centralized exchange")
+    with world._glock:
+        out = [slot["vals"][r] for r in range(n)]
+        slot["extracted"] += 1
+        if slot["extracted"] == n:
+            slots.pop(seq, None)
+    return out
+
+
+# ------------------------------------------------------------- results
+
+@dataclass
+class CollBenchResult:
+    """Rank-0 view of the microbenchmark (all latencies are max-over-
+    ranks means, microseconds per operation)."""
+
+    ranks: int
+    iters: int
+    log2_ranks: int
+    barrier: dict = field(default_factory=dict)
+    allgather: dict = field(default_factory=dict)      # payload -> row
+    alltoallv: dict = field(default_factory=dict)      # payload -> row
+    centralized: dict = field(default_factory=dict)    # payload -> row
+    speedup: dict = field(default_factory=dict)        # payload -> ratio
+    sample_sort_phases: dict = field(default_factory=dict)
+    bounds: dict = field(default_factory=dict)
+
+    @property
+    def bounds_ok(self) -> bool:
+        return all(self.bounds.values())
+
+
+def _timed(fn, reps: int):
+    """Per-rank mean latency (us) and coll AMs sent per op."""
+    ctx = current()
+    s0 = ctx.stats.snapshot()
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    dt = time.perf_counter() - t0
+    s1 = ctx.stats.snapshot()
+    return (dt / reps * 1e6,
+            (s1["coll_msgs"] - s0["coll_msgs"]) / reps)
+
+
+def _bench_body(iters: int, payloads) -> dict | None:
+    me, n = repro.myrank(), repro.ranks()
+    out: dict = {"barrier": {}, "allgather": {}, "alltoallv": {},
+                 "centralized": {}}
+
+    # Warm code paths (pickle caches, handler dispatch) out of the
+    # measured region.
+    repro.barrier()
+    repro.collectives.allgather(0)
+
+    us, ams = _timed(repro.barrier, iters)
+    row = {"us": repro.collectives.allreduce(us, op="max"),
+           "coll_ams_per_rank": ams}
+    out["barrier"] = row
+
+    for nbytes in payloads:
+        blob = np.zeros(nbytes, dtype=np.uint8)
+        us, ams = _timed(lambda: repro.collectives.allgather(blob), iters)
+        out["allgather"][str(nbytes)] = {
+            "us": repro.collectives.allreduce(us, op="max"),
+            "coll_ams_per_rank": ams,
+        }
+
+        blocks = [np.zeros(nbytes, dtype=np.uint8) for _ in range(n)]
+        us, ams = _timed(lambda: repro.collectives.alltoallv(blocks), iters)
+        out["alltoallv"][str(nbytes)] = {
+            "us": repro.collectives.allreduce(us, op="max"),
+            "coll_ams_per_rank": ams,
+        }
+
+        seqs = iter(range(1 << 30))
+        reps = max(iters // 2, 1)
+        us, _ = _timed(
+            lambda: _centralized_exchange(blob, next(seqs)), reps)
+        out["centralized"][str(nbytes)] = {
+            "us": repro.collectives.allreduce(us, op="max"),
+        }
+        repro.barrier()   # drain stragglers before the next size
+
+    return out if me == 0 else None
+
+
+def _sample_sort_phases(ranks: int, keys_per_rank: int) -> dict:
+    """Phase spans of one full-telemetry sample sort, max over ranks —
+    the collective-heavy phases (splitters, redistribute) are where the
+    tree engine shows up at the application level."""
+    from repro.bench.sample_sort import sample_sort
+
+    holder: dict = {}
+
+    def body():
+        if repro.myrank() == 0:
+            holder["world"] = repro.current_world()
+        repro.barrier()
+        r = sample_sort(keys_per_rank=keys_per_rank, variant="upcxx")
+        return r.verified
+
+    oks = repro.spmd(body, ranks=ranks, telemetry="full")
+    phases: dict = {}
+    for span in holder["world"].telemetry.all_spans():
+        if span.name.startswith("sort:"):
+            phases[span.name] = max(phases.get(span.name, 0.0),
+                                    span.dur * 1e6)
+    phases["verified"] = bool(all(oks))
+    return phases
+
+
+def run(ranks: int = 4, iters: int = 40,
+        payloads=DEFAULT_PAYLOADS,
+        keys_per_rank: int = 2048) -> CollBenchResult:
+    """Run the full microbenchmark in fresh SPMD worlds."""
+    raw = repro.spmd(_bench_body, ranks=ranks,
+                     kwargs=dict(iters=iters, payloads=tuple(payloads)))[0]
+
+    res = CollBenchResult(ranks=ranks, iters=iters,
+                          log2_ranks=ceil_log2(ranks))
+    res.barrier = raw["barrier"]
+    res.allgather = raw["allgather"]
+    res.alltoallv = raw["alltoallv"]
+    res.centralized = raw["centralized"]
+    for key, row in raw["allgather"].items():
+        base = raw["centralized"][key]["us"]
+        res.speedup[key] = base / row["us"] if row["us"] > 0 else 0.0
+
+    res.sample_sort_phases = _sample_sort_phases(ranks, keys_per_rank)
+
+    # The ISSUE's acceptance bounds, checked on real traffic counts.
+    lim = res.log2_ranks
+    res.bounds = {
+        "barrier_ams_eq_ceil_log2":
+            raw["barrier"]["coll_ams_per_rank"] == lim,
+        "allgather_ams_le_ceil_log2": all(
+            row["coll_ams_per_rank"] <= lim
+            for row in raw["allgather"].values()),
+        "alltoallv_ams_le_nminus1": all(
+            row["coll_ams_per_rank"] <= ranks - 1
+            for row in raw["alltoallv"].values()),
+        "sample_sort_verified":
+            bool(res.sample_sort_phases.get("verified", False)),
+    }
+    return res

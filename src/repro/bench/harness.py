@@ -451,6 +451,45 @@ def export_kv(path: str, ranks: int = 4) -> dict:
     return out
 
 
+def export_collectives(path: str, ranks: int = 4,
+                       iters: int = 40) -> dict:
+    """Collectives microbenchmark -> structured ``BENCH_5.json``.
+
+    Runs :func:`repro.bench.collectives.run` — tree barrier/allgather/
+    alltoallv latency and per-rank AM counts vs the re-created
+    centralized-rendezvous baseline, plus sample-sort phase spans — and
+    writes the result.  CI uploads the file and asserts the op-count
+    bounds (``bounds`` must be all-true).
+    """
+    import dataclasses
+    import json
+
+    from repro.bench import collectives as collbench
+
+    r = collbench.run(ranks=ranks, iters=iters)
+    out = dataclasses.asdict(r)
+    out["bounds_ok"] = r.bounds_ok
+    with open(path, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {path}")
+    print(f"  barrier: {r.barrier['us']:.0f} us, "
+          f"{r.barrier['coll_ams_per_rank']:.0f} AMs/rank "
+          f"(ceil(log2 {r.ranks}) = {r.log2_ranks})")
+    for key, row in r.allgather.items():
+        base = r.centralized[key]["us"]
+        print(f"  allgather {key:>6}B: {row['us']:.0f} us "
+              f"({row['coll_ams_per_rank']:.0f} AMs/rank)  "
+              f"centralized {base:.0f} us  x{r.speedup[key]:.2f}")
+    for key, row in r.alltoallv.items():
+        print(f"  alltoallv {key:>6}B: {row['us']:.0f} us "
+              f"({row['coll_ams_per_rank']:.0f} AMs/rank, "
+              f"bound {r.ranks - 1})")
+    print(f"  bounds: {r.bounds} -> "
+          f"{'PASS' if r.bounds_ok else 'FAIL'}")
+    return out
+
+
 def export_perfetto(path: str, ranks: int = 4,
                     keys_per_rank: int = 2048) -> None:
     """4-rank sample sort -> Chrome/Perfetto ``trace_event`` JSON.
@@ -530,10 +569,14 @@ def main(argv=None) -> int:
                         help="run the DistHashMap KV workload and write "
                              "per-op p50/p99, coalescing ratio and cache "
                              "hit rate as JSON")
+    parser.add_argument("--collectives", metavar="PATH",
+                        help="run the collectives microbenchmark (tree "
+                             "vs centralized, AM counts, sample-sort "
+                             "phase spans) and write JSON")
     args = parser.parse_args(argv)
     global _CHARTS
     _CHARTS = args.charts
-    if args.metrics or args.perfetto or args.kv:
+    if args.metrics or args.perfetto or args.kv or args.collectives:
         if args.metrics:
             export_metrics(args.metrics,
                            ranks=args.validate_ranks or 4)
@@ -542,6 +585,9 @@ def main(argv=None) -> int:
                             ranks=args.validate_ranks or 4)
         if args.kv:
             export_kv(args.kv, ranks=args.validate_ranks or 4)
+        if args.collectives:
+            export_collectives(args.collectives,
+                               ranks=args.validate_ranks or 4)
         if not (args.artifacts or args.calibrate or args.validate_ranks):
             return 0
     wanted = args.artifacts or list(ARTIFACTS)

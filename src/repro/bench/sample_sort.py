@@ -68,13 +68,22 @@ def _select_splitters(keys: repro.SharedArray, oversample: int,
     return repro.collectives.bcast(splitters, root=0)
 
 
-def _redistribute_one_sided(mine: np.ndarray, parts: list[np.ndarray]):
-    """Phase 3, UPC++ style: counts exchange, then one-sided puts."""
+def _redistribute_one_sided(sorted_mine: np.ndarray, bounds: np.ndarray):
+    """Phase 3, UPC++ style: counts exchange, then one-sided puts.
+
+    The counts allgather is launched non-blocking and overlapped with
+    materializing the per-destination partitions — the paper's
+    communication/computation overlap idiom, here on a collective.
+    """
     me, n = repro.myrank(), repro.ranks()
-    counts = [len(p) for p in parts]
+    edges = np.concatenate(([0], bounds, [len(sorted_mine)]))
+    counts = np.diff(edges).tolist()
     # Every rank learns the full counts matrix -> offsets are computable
     # locally and the data motion itself needs no handshakes.
-    matrix = np.asarray(repro.collectives.allgather(counts))  # [src][dst]
+    fut = repro.collectives.allgather_async(counts)
+    parts = [np.ascontiguousarray(p)
+             for p in np.split(sorted_mine, bounds)]
+    matrix = np.asarray(fut.get())  # [src][dst]
     incoming = int(matrix[:, me].sum())
     recv = repro.allocate(me, max(incoming, 1), np.uint64)
     dirn = repro.Directory()
@@ -149,14 +158,13 @@ def sample_sort(keys_per_rank: int = 4096, variant: str = "upcxx",
     order = np.argsort(mine, kind="stable")
     sorted_mine = mine[order]
     bounds = np.searchsorted(sorted_mine, splitters, side="right")
-    parts = np.split(sorted_mine, bounds)
     tel.record_span("sort:partition", tp, time.perf_counter() - tp)
 
     tr = time.perf_counter()
     if variant == "upcxx":
-        received = _redistribute_one_sided(mine, parts)
+        received = _redistribute_one_sided(sorted_mine, bounds)
     elif variant == "upc":
-        received = _redistribute_upc(mine, parts)
+        received = _redistribute_upc(mine, np.split(sorted_mine, bounds))
     else:
         raise ValueError(f"unknown variant {variant!r}")
     tel.record_span("sort:redistribute", tr, time.perf_counter() - tr)
@@ -175,9 +183,16 @@ def sample_sort(keys_per_rank: int = 4096, variant: str = "upcxx",
             if len(result) > 1 else True
         lo = int(result[0]) if len(result) else None
         hi = int(result[-1]) if len(result) else None
-        edges = repro.collectives.allgather((lo, hi, len(result),
-                                             int(result.sum(dtype=np.uint64))
-                                             if len(result) else 0))
+        # Two independent collectives in flight at once (allgather of
+        # the per-rank digests + allreduce of the input checksum); both
+        # futures complete through the same advance() progress.
+        edges_f = repro.collectives.allgather_async(
+            (lo, hi, len(result),
+             int(result.sum(dtype=np.uint64)) if len(result) else 0))
+        in_sum_f = repro.collectives.allreduce_async(
+            int(mine.sum(dtype=np.uint64)) & ((1 << 64) - 1)
+        )
+        edges = edges_f.get()
         ok_global = True
         prev_hi = None
         for lo_i, hi_i, cnt, _s in edges:
@@ -187,9 +202,7 @@ def sample_sort(keys_per_rank: int = 4096, variant: str = "upcxx",
                 ok_global = False
             prev_hi = hi_i
         total_count = sum(c for _l, _h, c, _s in edges)
-        in_sum = repro.collectives.allreduce(
-            int(mine.sum(dtype=np.uint64)) & ((1 << 64) - 1)
-        )
+        in_sum = in_sum_f.get()
         out_sum = sum(s for _l, _h, _c, s in edges)
         ok_conserved = (total_count == total
                         and (in_sum & ((1 << 64) - 1))

@@ -74,16 +74,59 @@ class Team:
         return Team(r for _k, r in mine)
 
     # -- team collectives ------------------------------------------------
+    # Every world collective has a team-scoped form (``root`` is a *team
+    # index*); the ``*_async`` variants return futures completed by
+    # ``advance()`` progress, like their world counterparts.
     def barrier(self) -> None:
-        from repro.core.collectives import team_barrier
+        from repro.core import collectives
 
-        team_barrier(self)
+        collectives.barrier(team=self)
+
+    def barrier_async(self):
+        from repro.core import collectives
+
+        return collectives.barrier_async(team=self)
 
     def bcast(self, value, root: int = 0):
         """Broadcast from the team member with *team index* ``root``."""
-        from repro.core.collectives import team_bcast
+        from repro.core import collectives
 
-        return team_bcast(self, value, root=root)
+        return collectives.bcast(value, root=root, team=self)
+
+    def bcast_async(self, value, root: int = 0):
+        from repro.core import collectives
+
+        return collectives.bcast_async(value, root=root, team=self)
+
+    def reduce(self, value, op="sum", root: int = 0):
+        from repro.core import collectives
+
+        return collectives.reduce(value, op=op, root=root, team=self)
+
+    def allreduce(self, value, op="sum"):
+        from repro.core import collectives
+
+        return collectives.allreduce(value, op=op, team=self)
+
+    def allreduce_async(self, value, op="sum"):
+        from repro.core import collectives
+
+        return collectives.allreduce_async(value, op=op, team=self)
+
+    def gather(self, value, root: int = 0):
+        from repro.core import collectives
+
+        return collectives.gather(value, root=root, team=self)
+
+    def allgather(self, value):
+        from repro.core import collectives
+
+        return collectives.allgather(value, team=self)
+
+    def allgather_async(self, value):
+        from repro.core import collectives
+
+        return collectives.allgather_async(value, team=self)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Team{self.members}"

@@ -34,6 +34,7 @@ from repro.errors import (
     PgasError,
     RankDead,
 )
+from repro.core.coll_engine import CollEngine
 from repro.gasnet.am import ActiveMessage, handler_registry, make_reply
 from repro.gasnet.segment import Segment
 from repro.gasnet.smp import SmpConduit
@@ -110,10 +111,12 @@ class RankState:
         self.finish_stack: list = []
         # Outstanding non-blocking copy handles (async_copy_fence).
         self.outstanding_copies: list = []
-        # Per-collective sequence counters so that rendezvous keys line up
-        # across ranks (all ranks execute collectives in the same order).
+        # Per-collective sequence counters so that collective AM keys line
+        # up across ranks (all ranks execute collectives in the same
+        # order); the engine owns the in-flight tree state machines.
         self.coll_seq = 0
         self.team_seq: dict[tuple, int] = {}
+        self.coll = CollEngine(self)
         # Owner-side tables: global locks, directory objects, ...
         self.lock_table: dict[int, dict] = {}
         self.dir_table: dict[int, Any] = {}
@@ -376,22 +379,6 @@ class _ActivateCtx:
         _tls.ctx = self.prev
 
 
-class _RendezvousSlot:
-    """Shared state for one collective-operation instance."""
-
-    __slots__ = ("kind", "data", "arrived", "result", "ready", "consumed",
-                 "_key")
-
-    def __init__(self, kind: str):
-        self.kind = kind
-        self.data: dict[int, Any] = {}
-        self.arrived = 0
-        self.result: Any = None
-        self.ready = False
-        self.consumed = 0
-        self._key: tuple | None = None
-
-
 class World:
     """One SPMD execution: ``n_ranks`` ranks over a conduit.
 
@@ -461,7 +448,6 @@ class World:
         self.conduit.attach(self)
         self._glock = threading.Lock()
         self._failure: tuple[int, BaseException] | None = None
-        self._rendezvous: dict[tuple, _RendezvousSlot] = {}
         self._lock_ids = itertools.count(1)
         self._dir_ids = itertools.count(1)
         self._progress_stop = threading.Event()
@@ -502,43 +488,6 @@ class World:
         for r in self.ranks:
             with r._cv:
                 r._cv.notify_all()
-
-    # -- rendezvous (collectives substrate) ----------------------------------
-    def rendezvous_slot(self, ctx: RankState, kind: str,
-                        parties: int, key_extra: tuple = ()) -> _RendezvousSlot:
-        """Get/create the slot for the caller's next collective.
-
-        All participating ranks must call collectives in the same order;
-        mismatched kinds on the same sequence number are detected and
-        raised as programming errors.
-        """
-        if key_extra:
-            seq = ctx.team_seq.get(key_extra, 0)
-            ctx.team_seq[key_extra] = seq + 1
-        else:
-            seq = ctx.coll_seq
-            ctx.coll_seq += 1
-        key = (kind_base(kind), seq, key_extra)
-        with self._glock:
-            slot = self._rendezvous.get(key)
-            if slot is None:
-                slot = _RendezvousSlot(kind)
-                self._rendezvous[key] = slot
-            if slot.kind != kind:
-                raise PgasError(
-                    f"collective mismatch at sequence {seq}: rank "
-                    f"{ctx.rank} called {kind!r} but another rank called "
-                    f"{slot.kind!r}"
-                )
-            slot._key = key  # type: ignore[attr-defined]
-        return slot
-
-    def retire_slot(self, slot: _RendezvousSlot, parties: int) -> None:
-        """Drop a slot once every participant has consumed the result."""
-        with self._glock:
-            slot.consumed += 1
-            if slot.consumed >= parties:
-                self._rendezvous.pop(getattr(slot, "_key", None), None)
 
     # -- progress thread (concurrent mode) -----------------------------------
     def start_progress_thread(self) -> None:
@@ -640,13 +589,6 @@ def die() -> None:
     ctx.dead = True
     ctx.world.poke_all()
     raise _RankKilled()
-
-
-def kind_base(kind: str) -> str:
-    """Collectives of different kinds must not collide on sequence keys;
-    the kind itself is part of the key *check* but not the lookup, so a
-    mismatch is reported instead of deadlocking."""
-    return "coll"
 
 
 def spmd(

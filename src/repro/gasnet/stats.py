@@ -36,6 +36,9 @@ class CommStats:
     replies_sent: int = 0
     barriers: int = 0
     collectives: int = 0
+    # Tree-collectives engine (repro.core.coll_engine): point-to-point
+    # AMs issued on behalf of collectives (subset of ams_sent).
+    coll_msgs: int = 0
     local_accesses: int = 0
     remote_accesses: int = 0
     # Reliability layer (repro.gasnet.reliability): retries, duplicate
@@ -124,6 +127,10 @@ class CommStats:
     def record_collective(self) -> None:
         with self._lock:
             self.collectives += 1
+
+    def record_coll_msg(self) -> None:
+        with self._lock:
+            self.coll_msgs += 1
 
     def record_local(self, count: int = 1) -> None:
         with self._lock:
@@ -269,6 +276,7 @@ class CommStats:
                 "replies_sent": self.replies_sent,
                 "barriers": self.barriers,
                 "collectives": self.collectives,
+                "coll_msgs": self.coll_msgs,
                 "local_accesses": self.local_accesses,
                 "remote_accesses": self.remote_accesses,
                 "am_retransmits": self.am_retransmits,
@@ -301,7 +309,7 @@ class CommStats:
             self.atomic_batches = self.batched_elements = 0
             self.ams_sent = self.am_bytes = 0
             self.ams_handled = self.replies_sent = 0
-            self.barriers = self.collectives = 0
+            self.barriers = self.collectives = self.coll_msgs = 0
             self.local_accesses = self.remote_accesses = 0
             self.am_retransmits = self.dup_ams = self.acks_sent = 0
             self.rma_retries = self.op_timeouts = self.stale_replies = 0

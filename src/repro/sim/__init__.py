@@ -14,6 +14,8 @@ machine models:
 * :mod:`repro.sim.des` — a discrete-event simulator for communication
   phases, used to validate the closed-form models at small scale;
 * :mod:`repro.sim.patterns` — per-benchmark communication patterns;
+* :mod:`repro.sim.collmodel` — closed-form LogGP costs for the tree
+  collectives engine (and the retired centralized baseline);
 * :mod:`repro.sim.perfmodel` — the per-figure/table series generators;
 * :mod:`repro.sim.calibrate` — measures the real per-op software
   overheads of this library's code paths (UPC veneer vs UPC++ path) and
@@ -27,9 +29,22 @@ from repro.sim.loggp import LogGP
 from repro.sim.topology import Dragonfly, Torus5D, balanced_factors
 from repro.sim.machine import Machine, EDISON, VESTA
 from repro.sim.des import DesEngine, Compute, Put, Send, Recv, Barrier
+from repro.sim.collmodel import (
+    allgather_time,
+    allreduce_time,
+    alltoall_time,
+    barrier_time,
+    bcast_time,
+    centralized_exchange_time,
+    reduce_time,
+    tree_speedup,
+)
 
 __all__ = [
     "LogGP", "Dragonfly", "Torus5D", "balanced_factors",
     "Machine", "EDISON", "VESTA",
     "DesEngine", "Compute", "Put", "Send", "Recv", "Barrier",
+    "barrier_time", "bcast_time", "reduce_time", "allreduce_time",
+    "allgather_time", "alltoall_time", "centralized_exchange_time",
+    "tree_speedup",
 ]

@@ -1,0 +1,96 @@
+"""LogGP cost models for the tree-based collectives engine.
+
+Closed forms for the algorithms :mod:`repro.core.coll_engine` runs —
+dissemination barrier, binomial bcast/reduce, Bruck allgather, pairwise
+alltoall — plus the retired centralized-rendezvous baseline, so the
+machine models can answer "at what P does the tree win, and by how
+much" without running anything.
+
+Conventions match :class:`~repro.sim.loggp.LogGP`: times in seconds,
+``L_eff`` lets a topology fold hop latency in.  Rounds in a tree
+collective are serialized on the critical path (each round waits for
+the previous round's message), so costs are per-round sums; fan-out
+within a round is injection-gap limited.
+"""
+
+from __future__ import annotations
+
+from repro.sim.loggp import LogGP
+
+
+def ceil_log2(p: int) -> int:
+    """Rounds needed to span ``p`` participants by doubling."""
+    return max(p - 1, 0).bit_length()
+
+
+def barrier_time(net: LogGP, p: int, L_eff: float | None = None) -> float:
+    """Dissemination barrier: ceil(log2 P) rounds, one small message
+    sent and one received per rank per round."""
+    L = net.L if L_eff is None else L_eff
+    return ceil_log2(p) * (2.0 * net.o + L)
+
+
+def bcast_time(net: LogGP, p: int, nbytes: int,
+               L_eff: float | None = None) -> float:
+    """Binomial-tree broadcast of an ``nbytes`` blob: the critical path
+    is the deepest leaf, one full transfer per tree level."""
+    L = net.L if L_eff is None else L_eff
+    return ceil_log2(p) * (net.o + net.bulk(nbytes, L))
+
+
+def reduce_time(net: LogGP, p: int, nbytes: int,
+                L_eff: float | None = None,
+                gamma: float = 0.0) -> float:
+    """Binomial-tree reduction: mirror of bcast plus a per-byte combine
+    cost ``gamma`` (s/byte) at every level."""
+    L = net.L if L_eff is None else L_eff
+    return ceil_log2(p) * (net.o + net.bulk(nbytes, L) + gamma * nbytes)
+
+
+def allreduce_time(net: LogGP, p: int, nbytes: int,
+                   L_eff: float | None = None,
+                   gamma: float = 0.0) -> float:
+    """Reduce to the tree root, then broadcast back down."""
+    return (reduce_time(net, p, nbytes, L_eff, gamma)
+            + bcast_time(net, p, nbytes, L_eff))
+
+
+def allgather_time(net: LogGP, p: int, nbytes_block: int,
+                   L_eff: float | None = None) -> float:
+    """Bruck allgather: round k ships min(2^k, P - 2^k) coalesced
+    blocks, so total traffic is (P-1) blocks in ceil(log2 P) rounds."""
+    L = net.L if L_eff is None else L_eff
+    total = 0.0
+    for k in range(ceil_log2(p)):
+        count = min(1 << k, p - (1 << k))
+        total += net.o + net.bulk(count * nbytes_block, L)
+    return total
+
+
+def alltoall_time(net: LogGP, p: int, nbytes_per_pair: int,
+                  L_eff: float | None = None) -> float:
+    """Pairwise exchange: P-1 non-blocking sends injected back-to-back
+    (gap-limited), the last arrival completes the collective."""
+    return net.pipelined(p - 1, nbytes_per_pair, L_eff)
+
+
+def centralized_exchange_time(net: LogGP, p: int, nbytes: int,
+                              L_eff: float | None = None) -> float:
+    """The retired rendezvous-slot path, modelled as communication: every
+    rank deposits its ``nbytes`` contribution through one serialization
+    point, then every rank extracts the published result — 2P serialized
+    transfers through a single bottleneck, O(P) on the critical path
+    versus the trees' O(log P)."""
+    L = net.L if L_eff is None else L_eff
+    deposit = net.o + max(net.g, nbytes * net.G)
+    extract = net.o + max(net.g, nbytes * net.G)
+    return L + p * (deposit + extract)
+
+
+def tree_speedup(net: LogGP, p: int, nbytes: int,
+                 L_eff: float | None = None) -> float:
+    """Modelled centralized/tree time ratio for an allgather-shaped
+    exchange (every rank contributes and receives everything)."""
+    tree = allgather_time(net, p, nbytes, L_eff)
+    central = centralized_exchange_time(net, p, nbytes, L_eff)
+    return central / tree if tree > 0 else float("inf")

@@ -1,0 +1,52 @@
+"""The collectives microbenchmark: runs end to end at reduced size and
+its op-count acceptance bounds hold on real traffic."""
+
+import numpy as np
+
+import repro
+from repro.bench import collectives as collbench
+from tests.conftest import run_spmd
+
+
+def test_microbench_runs_and_bounds_hold():
+    r = collbench.run(ranks=4, iters=4, payloads=(8, 512),
+                      keys_per_rank=512)
+    assert r.ranks == 4 and r.log2_ranks == 2
+    assert r.bounds_ok, r.bounds
+    # exact AM counts, not just bounds: dissemination and Bruck both
+    # send ceil(log2 P) per rank, pairwise sends P-1
+    assert r.barrier["coll_ams_per_rank"] == 2
+    for row in r.allgather.values():
+        assert row["coll_ams_per_rank"] == 2
+    for row in r.alltoallv.values():
+        assert row["coll_ams_per_rank"] == 3
+    assert set(r.allgather) == {"8", "512"}
+    assert all(row["us"] > 0 for row in r.centralized.values())
+    assert r.sample_sort_phases["verified"] is True
+    assert "sort:redistribute" in r.sample_sort_phases
+
+
+def test_centralized_baseline_matches_allgather():
+    """The re-created rendezvous baseline must still produce correct
+    allgather results (it is a *measured* baseline, not a strawman)."""
+    def body():
+        me, n = repro.myrank(), repro.ranks()
+        outs = []
+        for i in range(3):
+            outs.append(collbench._centralized_exchange((me, i), seq=i))
+        repro.barrier()
+        assert all(out == [(r, i) for r in range(n)]
+                   for i, out in enumerate(outs))
+        return True
+
+    assert all(run_spmd(body, ranks=4))
+
+
+def test_export_collectives_writes_bench5(tmp_path):
+    from repro.bench.harness import export_collectives
+
+    path = tmp_path / "BENCH_5.json"
+    out = export_collectives(str(path), ranks=2, iters=4)
+    assert path.exists()
+    assert out["bounds_ok"] is True
+    assert out["barrier"]["coll_ams_per_rank"] == 1  # ceil(log2 2)

@@ -87,7 +87,9 @@ def test_fom_metric():
 
 def test_two_sided_message_counts():
     """Each two-sided exchange sends exactly one message per neighbour
-    (7 on a 2x2x2 grid) per rank."""
+    (7 on a 2x2x2 grid) per rank, plus the exchange's closing barrier
+    (ceil(log2 8) = 3 dissemination AMs now that collectives ride the
+    conduit)."""
     import repro
     from repro.arrays import DistNdArray, RectDomain
     from repro.bench.lulesh import _exchange_two_sided
@@ -105,8 +107,10 @@ def test_two_sided_message_counts():
         _exchange_two_sided(dists)
         stats1 = repro.current_world().ranks[me].stats.snapshot()
         sent = stats1["ams_sent"] - stats0["ams_sent"]
-        # 7 neighbour messages; collectives use no AMs in this runtime
-        assert sent == 7, sent
+        coll = stats1["coll_msgs"] - stats0["coll_msgs"]
+        # 7 neighbour messages + 3 barrier AMs; nothing else
+        assert coll == 3, coll
+        assert sent - coll == 7, (sent, coll)
         repro.barrier()
         return True
 

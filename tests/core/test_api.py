@@ -15,18 +15,18 @@ def test_upc_style_aliases():
 
 
 def test_advance_returns_progress_flag():
+    # Single rank: with multiple ranks a fast peer's barrier token may
+    # already sit in the inbox (collectives travel as AMs), making the
+    # idle-advance assertion racy.
     def body():
-        me = repro.myrank()
         # nothing pending: no progress
         assert repro.advance() is False
-        if me == 0:
-            f = repro.async_(0)(lambda: 42)  # self-async sits in the queue
-            assert repro.advance() is True
-            assert f.get() == 42
-        repro.barrier()
+        f = repro.async_(0)(lambda: 42)  # self-async sits in the queue
+        assert repro.advance() is True
+        assert f.get() == 42
         return True
 
-    assert all(run_spmd(body, ranks=2))
+    assert all(run_spmd(body, ranks=1))
 
 
 def test_fence_completes_outstanding_copies():

@@ -284,3 +284,99 @@ def test_scan_offsets_idiom():
         return True
 
     assert all(run_spmd(body, ranks=4))
+
+
+# -- team-scoped collectives ------------------------------------------------
+
+def test_subset_team_collectives_ignore_outsiders():
+    """A strict-subset team runs its full collective surface while the
+    left-out rank does unrelated communication — no cross-talk."""
+    def body():
+        me = repro.myrank()
+        sub = repro.Team([0, 1, 3])   # rank 2 excluded
+        if me == 2:
+            # outsider: unrelated traffic while the team collects
+            with repro.finish():
+                repro.async_(0)(lambda: None)
+            return "outsider"
+        idx = sub.index_of(me)
+        assert sub.allgather(idx) == [0, 1, 2]
+        assert sub.allreduce(idx + 1) == 6
+        r = sub.reduce(idx, op="max", root=1)
+        assert r == (2 if idx == 1 else None)
+        assert sub.bcast("hi" if idx == 0 else None, root=0) == "hi"
+        sub.barrier()
+        return "member"
+
+    res = run_spmd(body, ranks=4)
+    assert res == ["member", "member", "outsider", "member"]
+
+
+def test_overlapping_teams_interleave_safely():
+    """A rank in two teams interleaves collectives on both; each team
+    keeps its own sequence stream so nothing cross-matches."""
+    def body():
+        me = repro.myrank()
+        left = repro.Team([0, 1, 2])
+        right = repro.Team([2, 3])     # rank 2 is in both
+        out = {}
+        if me in left:
+            out["left"] = left.allgather(f"L{me}")
+        if me in right:
+            out["right"] = right.allreduce(me)
+        if me in left:
+            left.barrier()
+        if me in right:
+            out["right2"] = right.bcast(me * 10 if me == 2 else None,
+                                        root=0)
+        return out
+
+    res = run_spmd(body, ranks=4)
+    assert res[2]["left"] == ["L0", "L1", "L2"]
+    assert res[2]["right"] == res[3]["right"] == 5
+    assert res[2]["right2"] == res[3]["right2"] == 20
+
+
+def test_team_reduce_root_is_team_index():
+    def body():
+        me = repro.myrank()
+        team = repro.Team([3, 1])      # team index 0 is world rank 3
+        if me in team:
+            got = team.reduce(me, op="sum", root=0)
+            return got if me == 3 else ("off-root", got)
+        return None
+
+    res = run_spmd(body, ranks=4)
+    assert res[3] == 4
+    assert res[1] == ("off-root", None)
+
+
+# -- value-copy semantics ---------------------------------------------------
+
+def test_copy_value_numpy_scalar_fast_path():
+    """NumPy scalars are immutable: copy_value must return them as-is
+    (no pickle round-trip), preserving dtype."""
+    from repro.core.coll_engine import copy_value
+
+    s = np.float32(1.5)
+    assert copy_value(s) is s
+    i = np.uint64(1 << 60)
+    assert copy_value(i) is i
+    # ndarrays still get defensively copied
+    a = np.arange(4)
+    c = copy_value(a)
+    assert c is not a and np.array_equal(c, a)
+    # arbitrary objects round-trip by value
+    d = {"k": [1, 2]}
+    c2 = copy_value(d)
+    assert c2 == d and c2 is not d
+
+
+def test_bcast_numpy_scalar_keeps_dtype():
+    def body():
+        v = np.float32(2.5) if repro.myrank() == 0 else None
+        got = coll.bcast(v, root=0)
+        return type(got).__name__, float(got)
+
+    res = run_spmd(body, ranks=3)
+    assert all(r == ("float32", 2.5) for r in res)

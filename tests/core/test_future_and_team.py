@@ -131,18 +131,21 @@ def test_split_nonmember_rejected():
     assert all(run_spmd(body, ranks=2))
 
 
-def test_rendezvous_slots_do_not_leak():
-    """Collective bookkeeping is reclaimed once consumed."""
+def test_collective_state_does_not_leak():
+    """Engine bookkeeping (state machines + early-message buffers) is
+    reclaimed as collectives complete."""
     def body():
+        from repro.core.world import current
+
         for _ in range(25):
             repro.barrier()
             repro.collectives.allreduce(1)
         repro.barrier()
-        world = repro.current_world()
-        # allow the in-flight finalize slot; nothing else may linger
-        return len(world._rendezvous)
+        # allow messages buffered for the next collective some peers
+        # already entered; nothing else may linger
+        return current().coll.in_flight
 
     leftovers = run_spmd(body, ranks=4)
-    # O(1) in-flight slots (the last collectives some peers have not yet
-    # consumed when this rank samples), never O(iterations).
+    # O(1) in-flight entries (traffic for the barriers/collectives peers
+    # are currently inside), never O(iterations).
     assert all(n <= 2 for n in leftovers)

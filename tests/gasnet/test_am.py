@@ -61,3 +61,62 @@ def test_make_reply_requires_token():
     req = ActiveMessage(handler="h", src_rank=3)
     with pytest.raises(PgasError):
         make_reply(req, src_rank=0)
+
+
+def test_wire_bytes_pickles_exactly_once(monkeypatch):
+    """Sizing a generic-payload AM must cost one pickle.dumps total
+    (args and payload measured in a single combined pass, then cached)
+    — the old path pickled the payload twice per send."""
+    from repro.gasnet import am as am_mod
+
+    calls = {"n": 0}
+    real_pickle = am_mod.pickle
+
+    class CountingPickle:
+        def dumps(self, *a, **kw):
+            calls["n"] += 1
+            return real_pickle.dumps(*a, **kw)
+
+        def __getattr__(self, name):
+            return getattr(real_pickle, name)
+
+    monkeypatch.setattr(am_mod, "pickle", CountingPickle())
+
+    am = ActiveMessage(handler="h", src_rank=0,
+                       args=(1, "two"), payload={"k": [3, 4]})
+    _ = am.wire_bytes
+    assert calls["n"] == 1, calls["n"]
+    _ = am.wire_bytes          # cached: no further pickling
+    assert calls["n"] == 1
+
+
+def test_wire_bytes_ndarray_payload_never_pickled(monkeypatch):
+    """Bulk payloads (ndarray/bytes) are sized from nbytes; pickling
+    them to measure size would defeat zero-copy accounting."""
+    from repro.gasnet import am as am_mod
+
+    calls = {"n": 0}
+    real_pickle = am_mod.pickle
+
+    class CountingPickle:
+        def dumps(self, *a, **kw):
+            calls["n"] += 1
+            for obj in a[:1]:
+                assert not isinstance(obj, np.ndarray)
+            return real_pickle.dumps(*a, **kw)
+
+        def __getattr__(self, name):
+            return getattr(real_pickle, name)
+
+    monkeypatch.setattr(am_mod, "pickle", CountingPickle())
+
+    blob = np.zeros(1 << 16, dtype=np.uint8)
+    am = ActiveMessage(handler="h", src_rank=0, args=("hdr",),
+                       payload=blob)
+    size = am.wire_bytes
+    assert size >= blob.nbytes
+    assert calls["n"] == 1      # args header only, not the 64 KiB blob
+
+    bare = ActiveMessage(handler="h", src_rank=0, payload=b"1234")
+    assert bare.wire_bytes == 32 + 4
+    assert calls["n"] == 1      # no args, bulk payload: zero pickles

@@ -281,3 +281,39 @@ def test_flight_ring_stays_bounded_in_world():
         body, ranks=2,
         telemetry={"mode": "flight", "flight_capacity": 8},
     ))
+
+
+def test_collective_latency_histograms_recorded():
+    """Full mode times every collective kind into a ``coll_<kind>``
+    histogram (completion-callback on the collective's future) and the
+    flight recorder logs initiations."""
+    def body():
+        me = repro.myrank()
+        repro.barrier()
+        repro.collectives.allreduce(me)
+        repro.collectives.allgather(me)
+        repro.collectives.bcast(1 if me == 0 else None, root=0)
+        repro.barrier()
+        out = None
+        if me == 0:
+            hists = current().telemetry.histograms()
+            stats = current().stats.snapshot()
+            out = {
+                "kinds": sorted(k for k in hists if k.startswith("coll_")),
+                "barriers": hists["coll_barrier"].count,
+                "coll_msgs": stats["coll_msgs"],
+                "timed": hists["coll_allreduce"].max_value > 0,
+                "flight": sum(
+                    1 for e in current().telemetry.flight.snapshot()
+                    if e.kind == "coll"),
+            }
+        repro.barrier()
+        return out
+
+    out = run_spmd(body, ranks=2, telemetry="full")[0]
+    assert {"coll_allgather", "coll_allreduce", "coll_barrier",
+            "coll_bcast"} <= set(out["kinds"])
+    assert out["barriers"] >= 2
+    assert out["timed"]
+    assert out["coll_msgs"] > 0
+    assert out["flight"] >= 4
