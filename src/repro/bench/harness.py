@@ -490,6 +490,45 @@ def export_collectives(path: str, ranks: int = 4,
     return out
 
 
+def export_serde(path: str, ranks: int = 4) -> dict:
+    """Serialization microbenchmark -> structured ``BENCH_6.json``.
+
+    Runs :func:`repro.bench.serde.run` — the identical AM/KV/GUPS
+    workload under the forced-pickle baseline and the wire codec —
+    and writes per-mode p50s, speedups, ser/deser histogram p50s, and
+    the fixed-layout hit rate.  CI uploads the file and asserts the
+    speedup and hit-rate acceptance bounds (``bounds`` must be
+    all-true).
+    """
+    import dataclasses
+    import json
+
+    from repro.bench import serde
+
+    r = serde.run(ranks=ranks)
+    out = dataclasses.asdict(r)
+    out["bounds"] = r.bounds
+    out["bounds_ok"] = r.bounds_ok
+    with open(path, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {path}")
+    print(f"  send_am p50: pickle {r.send_am_p50_us['pickle']:.0f} us, "
+          f"codec {r.send_am_p50_us['codec']:.0f} us "
+          f"(x{r.send_am_speedup:.2f})")
+    print(f"  kv_get  p50: pickle {r.kv_get_p50_us['pickle']:.1f} us/key, "
+          f"codec {r.kv_get_p50_us['codec']:.1f} us/key "
+          f"(x{r.kv_get_speedup:.2f})")
+    print(f"  gups ratio x{r.gups_ratio:.2f}  "
+          f"ser/deser p50 {r.ser_p50_us:.1f}/{r.deser_p50_us:.1f} us")
+    print(f"  fixed-layout {r.wire_fixed}/{r.wire_frames} "
+          f"({r.wire_fixed_rate:.1%}), "
+          f"{r.pickle_fallbacks} pickle fallbacks")
+    print(f"  bounds: {r.bounds} -> "
+          f"{'PASS' if r.bounds_ok else 'FAIL'}")
+    return out
+
+
 def export_perfetto(path: str, ranks: int = 4,
                     keys_per_rank: int = 2048) -> None:
     """4-rank sample sort -> Chrome/Perfetto ``trace_event`` JSON.
@@ -573,10 +612,16 @@ def main(argv=None) -> int:
                         help="run the collectives microbenchmark (tree "
                              "vs centralized, AM counts, sample-sort "
                              "phase spans) and write JSON")
+    parser.add_argument("--serde", metavar="PATH",
+                        help="run the serialization microbenchmark "
+                             "(wire codec vs forced-pickle baseline) "
+                             "and write per-mode p50s, speedups and "
+                             "the fixed-layout hit rate as JSON")
     args = parser.parse_args(argv)
     global _CHARTS
     _CHARTS = args.charts
-    if args.metrics or args.perfetto or args.kv or args.collectives:
+    if (args.metrics or args.perfetto or args.kv or args.collectives
+            or args.serde):
         if args.metrics:
             export_metrics(args.metrics,
                            ranks=args.validate_ranks or 4)
@@ -588,6 +633,8 @@ def main(argv=None) -> int:
         if args.collectives:
             export_collectives(args.collectives,
                                ranks=args.validate_ranks or 4)
+        if args.serde:
+            export_serde(args.serde, ranks=args.validate_ranks or 4)
         if not (args.artifacts or args.calibrate or args.validate_ranks):
             return 0
     wanted = args.artifacts or list(ARTIFACTS)

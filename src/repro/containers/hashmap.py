@@ -3,8 +3,9 @@
 Design
 ------
 * **Sharding** — :func:`shard_of` maps a key to its owning rank by a
-  stable hash of the pickled key.  All storage for a key lives on its
-  owner; there is no replication.
+  stable CRC32: str/bytes/int keys hash their raw bytes directly, other
+  types fall back to hashing the pickled key.  All storage for a key
+  lives on its owner; there is no replication.
 * **Owner-side storage** — each rank keeps a plain dict per map in its
   scratch space, mutated only by AM handlers (or the owner's own local
   fast path) under the rank's handler lock, so every mutation is
@@ -47,6 +48,7 @@ from repro.core.directory import Directory
 from repro.core.world import RankState, current
 from repro.errors import CommTimeout, PgasError
 from repro.gasnet.am import am_handler
+from repro.gasnet.wire import tagged
 
 _MISSING = object()
 
@@ -72,12 +74,25 @@ UPDATE_OPS: dict[str, Callable] = {
 
 
 def shard_of(key: Any, nranks: int) -> int:
-    """Owning rank of ``key``: a stable hash of the pickled key.
+    """Owning rank of ``key``: a stable CRC32 of the key's bytes.
 
     Stable across runs (unlike ``hash()``, which is salted for str),
-    so layouts — and therefore benchmarks — are reproducible.
+    so layouts — and therefore benchmarks — are reproducible.  The
+    common key types hash their raw bytes directly; anything else keeps
+    the original pickled-key fallback, so existing placements of
+    exotic keys are unchanged.
     """
-    return zlib.crc32(pickle.dumps(key, protocol=4)) % nranks
+    t = type(key)
+    if t is str:
+        raw = key.encode("utf-8")
+    elif t is bytes:
+        raw = key
+    elif t is int:
+        raw = key.to_bytes((key.bit_length() + 8) // 8, "little",
+                           signed=True)
+    else:
+        raw = pickle.dumps(key, protocol=4)
+    return zlib.crc32(raw) % nranks
 
 
 def _resolve_update(op) -> Callable:
@@ -166,37 +181,40 @@ def _owner_update(ctx: RankState, map_id: int, src: int, op_id: int,
     return rec
 
 
+# Request payloads arrive pre-decoded by the wire layer (the kv_put /
+# kv_get / kv_del handlers are bound to fixed-layout codecs); replies
+# carry values back through the same codecs via ``tagged``.
+
 @am_handler("kv_put")
 def _kv_put_handler(ctx: RankState, am) -> None:
     (map_id,) = am.args
-    epoch = _owner_put(ctx, map_id, pickle.loads(am.payload))
+    epoch = _owner_put(ctx, map_id, am.payload)
     ctx.reply(am, args=(epoch,))
 
 
 @am_handler("kv_get")
 def _kv_get_handler(ctx: RankState, am) -> None:
     (map_id,) = am.args
-    epoch, found = _owner_get(ctx, map_id, pickle.loads(am.payload))
-    ctx.reply(am, args=(epoch,),
-              payload=pickle.dumps(found, protocol=-1))
+    epoch, found = _owner_get(ctx, map_id, am.payload)
+    ctx.reply(am, args=(epoch,), payload=tagged("kv_found", found))
 
 
 @am_handler("kv_del")
 def _kv_del_handler(ctx: RankState, am) -> None:
     (map_id,) = am.args
-    epoch, n = _owner_delete(ctx, map_id, pickle.loads(am.payload))
+    epoch, n = _owner_delete(ctx, map_id, am.payload)
     ctx.reply(am, args=(epoch, n))
 
 
 @am_handler("kv_update")
 def _kv_update_handler(ctx: RankState, am) -> None:
     map_id, op_id = am.args
-    key, op, fargs, default, has_default = pickle.loads(am.payload)
+    key, op, fargs, default, has_default = am.payload
     epoch, new = _owner_update(
         ctx, map_id, am.src_rank, op_id, key, _resolve_update(op),
         fargs, default, has_default,
     )
-    ctx.reply(am, args=(epoch,), payload=pickle.dumps(new, protocol=-1))
+    ctx.reply(am, args=(epoch,), payload=new)
 
 
 @am_handler("kv_epoch")
@@ -312,8 +330,7 @@ class DistHashMap:
                 tel.flight_event("kv_put", src=ctx.rank, dst=owner,
                                  detail=repr(key)[:48])
             (epoch, *_), _pl = self._request(
-                ctx, owner, "kv_put", (self.map_id,),
-                pickle.dumps({key: value}, protocol=-1),
+                ctx, owner, "kv_put", (self.map_id,), {key: value},
                 what=f"kv_put({key!r})",
             )
         ctx.stats.record_kv_put()
@@ -361,10 +378,10 @@ class DistHashMap:
             tel.flight_event("kv_get", src=ctx.rank, dst=owner,
                              detail=repr(key)[:48])
         (epoch, *_), payload = self._request(
-            ctx, owner, "kv_get", (self.map_id,),
-            pickle.dumps([key], protocol=-1), what=f"kv_get({key!r})",
+            ctx, owner, "kv_get", (self.map_id,), [key],
+            what=f"kv_get({key!r})",
         )
-        [(found, val)] = pickle.loads(payload)
+        [(found, val)] = payload
         self._note_epoch(owner, epoch)
         if found and self._cache_enabled:
             self._cache[owner][key] = val
@@ -392,8 +409,8 @@ class DistHashMap:
                     detail=repr(key)[:48],
                 )
             (epoch, n), _pl = self._request(
-                ctx, owner, "kv_del", (self.map_id,),
-                pickle.dumps([key], protocol=-1), what=f"kv_del({key!r})",
+                ctx, owner, "kv_del", (self.map_id,), [key],
+                what=f"kv_del({key!r})",
             )
         ctx.stats.record_kv_delete()
         self._note_epoch(owner, epoch)
@@ -430,15 +447,12 @@ class DistHashMap:
             if tel.active:
                 tel.flight_event("kv_update", src=ctx.rank, dst=owner,
                                  detail=repr(key)[:48])
-            payload = pickle.dumps(
-                (key, op, args, default if has_default else None,
-                 has_default), protocol=-1,
-            )
-            (epoch, *_), pl = self._request(
+            payload = (key, op, args, default if has_default else None,
+                       has_default)
+            (epoch, *_), new = self._request(
                 ctx, owner, "kv_update", (self.map_id, op_id), payload,
                 what=f"kv_update({key!r})#op{op_id}",
             )
-            new = pickle.loads(pl)
         self._note_epoch(owner, epoch)
         if self._cache_enabled and owner != ctx.rank:
             self._cache[owner][key] = _copy(new)
@@ -502,8 +516,7 @@ class DistHashMap:
         pending = {
             owner: (list(kmap), ctx.send_am(
                 owner, "kv_get", args=(self.map_id,),
-                payload=pickle.dumps(list(kmap), protocol=-1),
-                expect_reply=True,
+                payload=list(kmap), expect_reply=True,
             ))
             for owner, kmap in by_owner.items()
         }
@@ -516,7 +529,7 @@ class DistHashMap:
                 except CommTimeout:
                     failed[owner] = klist
                     continue
-                found = pickle.loads(payload)
+                found = payload
                 self._note_epoch(owner, epoch)
                 for k, (ok, val) in zip(klist, found):
                     if ok and self._cache_enabled:
@@ -541,8 +554,7 @@ class DistHashMap:
                 pending = {
                     owner: (klist, ctx.send_am(
                         owner, "kv_get", args=(self.map_id,),
-                        payload=pickle.dumps(klist, protocol=-1),
-                        expect_reply=True,
+                        payload=klist, expect_reply=True,
                     ))
                     for owner, klist in failed.items()
                 }
@@ -590,8 +602,7 @@ class DistHashMap:
         pending = {
             owner: ctx.send_am(
                 owner, "kv_put", args=(self.map_id,),
-                payload=pickle.dumps(chunk, protocol=-1),
-                expect_reply=True,
+                payload=chunk, expect_reply=True,
             )
             for owner, chunk in by_owner.items()
         }
@@ -616,8 +627,7 @@ class DistHashMap:
                 pending = {
                     owner: ctx.send_am(
                         owner, "kv_put", args=(self.map_id,),
-                        payload=pickle.dumps(by_owner[owner], protocol=-1),
-                        expect_reply=True,
+                        payload=by_owner[owner], expect_reply=True,
                     )
                     for owner in failed
                 }

@@ -17,7 +17,6 @@ never read zero while a pushed item is in flight.
 
 from __future__ import annotations
 
-import pickle
 from collections import deque
 from typing import Any, Iterable, Optional
 
@@ -30,7 +29,7 @@ from repro.gasnet.am import am_handler
 def _dq_push_handler(ctx: RankState, am) -> None:
     """Target side of a remote push: append the shipped items."""
     (qid,) = am.args
-    items = pickle.loads(am.payload)
+    items = am.payload  # decoded by the wire layer (dq_items codec)
     _table(ctx).setdefault(qid, deque()).extend(items)
     ctx.reply(am, args=(len(items),))
 
@@ -77,7 +76,7 @@ class DistQueue:
         self._wq._outstanding.atomic("add", len(items))
         fut = ctx.send_am(
             to, "dq_push", args=(self.qid,),
-            payload=pickle.dumps(items, protocol=-1), expect_reply=True,
+            payload=items, expect_reply=True,
         )
         (n, *_), _pl = fut.get()
         self.pushed_remote += n

@@ -14,22 +14,22 @@ the paper's companion :func:`async_after`):
     async_after(3, after=e)(next_stage)   # launch once e has fired
 
 Implementation follows paper §IV: the function and its arguments are
-packed into a contiguous buffer (pickle — measured and charged to the
-communication stats) and shipped with an active message; the target
-unpacks and enqueues the task; its ``advance()`` executes it and replies
-with the (pickled) return value, which completes the initiator-side
-future, decrements enclosing finish scopes, and signals events.
+packed into a contiguous buffer (the wire codec, pickle-5 fallback for
+dynamic objects — measured and charged to the communication stats) and
+shipped with an active message; the target unpacks and enqueues the
+task; its ``advance()`` executes it and replies with the encoded return
+value, which completes the initiator-side future, decrements enclosing
+finish scopes, and signals events.
 
 Unlike X10, only the function and explicit arguments travel — never the
 enclosing closure (the paper's deliberate design decision).  Functions
-that cannot be pickled (lambdas, nested functions) are passed by
+that cannot be serialized (lambdas, nested functions) are passed by
 in-process reference, which is safe in the SMP conduit and keeps the
 API pleasant; their argument tuple is still serialized.
 """
 
 from __future__ import annotations
 
-import pickle
 from typing import Any, Callable, Optional, Union
 
 from repro.core.event import Event
@@ -38,37 +38,37 @@ from repro.core.team import Team
 from repro.core.world import RankState, _Task, current
 from repro.errors import SerializationError
 from repro.gasnet.am import am_handler
+from repro.gasnet.wire import UnencodableError, preencode
 
 Place = Union[int, Team]
 
 
 @am_handler("exec_task")
 def _exec_task_handler(ctx: RankState, am) -> None:
-    """Target side: unpack the task and enqueue it for execution."""
-    if isinstance(am.payload, (bytes, bytearray)):
-        fn, args, kwargs = pickle.loads(am.payload)
-    else:
-        fn, args, kwargs = am.payload  # in-process reference path
+    """Target side: the wire layer already decoded (fn, args, kwargs)."""
+    fn, args, kwargs = am.payload
     ctx.task_queue.append(
         _Task(fn, args, kwargs, reply_rank=am.src_rank, reply_token=am.token)
     )
 
 
 def _pack_task(fn: Callable, args: tuple, kwargs: dict):
-    """Serialize (fn, args, kwargs); fall back to by-reference for fn."""
+    """Encode (fn, args, kwargs); fall back to by-reference for fn.
+
+    Strict mode first: an unencodable *function* (lambda/closure) is
+    tolerated — it ships by in-process reference — but unencodable
+    *arguments* must fail eagerly at the call site, honouring the
+    paper's serialization contract."""
     try:
-        return pickle.dumps((fn, args, kwargs), protocol=-1)
-    except Exception:
-        # The function itself is not picklable (lambda/closure).  Check
-        # that the *arguments* are, to honour the paper's serialization
-        # contract, then ship the function by reference.
+        return preencode((fn, args, kwargs), strict=True)
+    except UnencodableError:
         try:
-            pickle.dumps((args, kwargs), protocol=-1)
-        except Exception as exc:
+            preencode((args, kwargs), strict=True)
+        except UnencodableError as exc:
             raise SerializationError(
                 f"arguments of async task {fn!r} are not serializable: {exc}"
             ) from exc
-        return (fn, args, kwargs)
+        return preencode((fn, args, kwargs))
 
 
 class _AsyncCall:

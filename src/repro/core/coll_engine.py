@@ -36,7 +36,8 @@ Handlers are idempotent — a duplicated message (bare chaos conduit, no
 reliability layer) re-applies a keyed update and changes nothing — and
 messages that arrive before the local rank has initiated the matching
 collective are buffered and replayed.  Values cross rank boundaries
-pickled, which supplies the by-value contract of a real network.
+through the wire codec (pre-encoded once per fan-out, spliced into each
+frame), which supplies the by-value contract of a real network.
 """
 
 from __future__ import annotations
@@ -50,6 +51,7 @@ import numpy as np
 
 from repro.errors import PgasError
 from repro.gasnet.am import am_handler
+from repro.gasnet.wire import preencode
 
 #: AM handler name for all collective traffic.
 COLL_AM = "coll"
@@ -60,8 +62,14 @@ _COMPLETED_LRU = 256
 
 
 def copy_value(value: Any) -> Any:
-    """By-value semantics for contributions crossing rank boundaries."""
-    if value is None or isinstance(value, (int, float, bool, str, bytes)):
+    """By-value semantics for contributions crossing rank boundaries.
+
+    Immutable builtins (and frozenset, whose elements must themselves
+    be hashable-immutable) are returned as-is — a full pickle round
+    trip on an int or frozenset buys nothing."""
+    if value is None or isinstance(
+        value, (int, float, bool, complex, str, bytes, frozenset)
+    ):
         return value
     if isinstance(value, np.generic):
         return value  # NumPy scalars are immutable; no copy needed
@@ -114,11 +122,12 @@ class _Collective:
         self.send_wire(dst_index, tag, self.pack(data))
 
     @staticmethod
-    def pack(data: Any) -> bytes | None:
-        """Serialize once; reusable across fan-out sends."""
-        return None if data is None else pickle.dumps(data, protocol=-1)
+    def pack(data: Any):
+        """Encode once; the resulting :class:`EncodedPayload` is spliced
+        into every fan-out frame without re-serializing."""
+        return None if data is None else preencode(data)
 
-    def send_wire(self, dst_index: int, tag, payload: bytes | None) -> None:
+    def send_wire(self, dst_index: int, tag, payload) -> None:
         ctx = self.eng.ctx
         ctx.stats.record_coll_msg()
         ctx.send_am(
@@ -577,8 +586,8 @@ class CollEngine:
             self._mismatch(key, st.kind, kind, src_index)
         if st.done:
             return  # duplicate delivery racing completion
-        st.on_msg(tag, src_index,
-                  None if payload is None else pickle.loads(payload))
+        # The wire layer already decoded the payload to a fresh value.
+        st.on_msg(tag, src_index, payload)
 
     def _mismatch(self, key, my_kind, their_kind, src_index) -> None:
         raise PgasError(

@@ -18,10 +18,10 @@ computation (the UPC++ v1.0 direction).  The blocking API is a thin
 ``team=`` keyword (``None`` means the world team); for team-scoped
 calls ``root`` is a *team index*.
 
-Contributions are pickled onto the wire (NumPy ``copy`` for local
-fast paths) so the exchange has by-value semantics — the same
-data-movement contract a real network gives you, and a guard against
-aliasing bugs in user code.
+Contributions cross the wire through the frame codec (NumPy ``copy``
+for local fast paths) so the exchange has by-value semantics — the
+same data-movement contract a real network gives you, and a guard
+against aliasing bugs in user code.
 
 All participants must invoke collectives in the same order; a mismatch
 (rank 0 calls ``bcast`` while rank 1 calls ``reduce``) is detected via

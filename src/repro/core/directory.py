@@ -4,20 +4,21 @@ The paper composes ``shared_array< ndarray<int,3> > dir(THREADS)`` to
 build a directory of per-rank multidimensional arrays (§III-E).  Our
 segments hold raw bytes, not Python objects, so the idiom is provided
 directly: a :class:`Directory` gives every rank one published slot whose
-contents any rank can fetch.  Values are pickled on publish (they cross
-a rank boundary) — which is exactly what makes lightweight *handles*
-(global pointers, ndarray descriptors) the natural thing to publish.
+contents any rank can fetch.  Values are wire-encoded on publish (they
+cross a rank boundary) — which is exactly what makes lightweight
+*handles* (global pointers, ndarray descriptors) the natural thing to
+publish.
 """
 
 from __future__ import annotations
 
-import pickle
 from typing import Any
 
 from repro.core import collectives
 from repro.core.world import RankState, current
 from repro.errors import PgasError
 from repro.gasnet.am import am_handler
+from repro.gasnet.wire import EncodedPayload, preencode
 
 
 @am_handler("dir_get")
@@ -44,9 +45,13 @@ class Directory:
         self._cache: dict[int, Any] = {}
 
     def publish(self, obj: Any) -> None:
-        """Store ``obj`` in the calling rank's slot (overwrites)."""
+        """Store ``obj`` in the calling rank's slot (overwrites).
+
+        The value is encoded once at publish time; every fetch (local
+        or remote) decodes its own fresh copy, so by-value semantics
+        hold even for the publishing rank's own lookups."""
         ctx = current()
-        ctx.dir_table[self.dir_id] = pickle.dumps(obj, protocol=-1)
+        ctx.dir_table[self.dir_id] = preencode(obj)
 
     def lookup(self, rank: int, cached: bool = True) -> Any:
         """Fetch the object published by ``rank``.
@@ -70,7 +75,9 @@ class Directory:
                 rank, "dir_get", args=(self.dir_id,), expect_reply=True
             )
             _args, blob = fut.get()
-        obj = pickle.loads(blob)
+        # Local hits hold the stored EncodedPayload; remote replies
+        # arrive already decoded by the wire layer.
+        obj = blob.decode() if isinstance(blob, EncodedPayload) else blob
         if cached:
             self._cache[rank] = obj
         return obj
@@ -94,8 +101,7 @@ class Directory:
         out = []
         for rank in range(ctx.world.n_ranks):
             if rank in futs:
-                _args, blob = futs[rank].get()
-                obj = pickle.loads(blob)
+                _args, obj = futs[rank].get()
                 if cached:
                     self._cache[rank] = obj
                 out.append(obj)

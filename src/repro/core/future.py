@@ -9,7 +9,6 @@ mirroring ``future.get()`` in the paper.
 
 from __future__ import annotations
 
-import pickle
 import threading
 from typing import Any, Callable, Optional
 
@@ -86,18 +85,14 @@ class Future:
 
 
 class TaskFuture(Future):
-    """Future for an async *task*; decodes the pickled return value."""
+    """Future for an async *task*; unwraps the reply's return value
+    (delivered by value, already decoded by the wire layer)."""
 
     __slots__ = ()
 
     def get(self, timeout: float | None = None) -> Any:
-        raw = super().get(timeout=timeout)
-        _args, payload = raw
-        if payload is None:
-            return None
-        if isinstance(payload, (bytes, bytearray)):
-            return pickle.loads(payload)
-        return payload  # in-process reference fallback
+        _args, payload = super().get(timeout=timeout)
+        return payload
 
 
 class MultiFuture:

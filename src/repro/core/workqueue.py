@@ -24,7 +24,6 @@ as such.
 
 from __future__ import annotations
 
-import pickle
 import time
 from collections import deque
 from typing import Any, Iterable, Optional
@@ -33,6 +32,7 @@ import numpy as np
 
 from repro.core import collectives
 from repro.core.shared_var import SharedVar
+from repro.gasnet.wire import tagged
 from repro.core.world import RankState, current
 from repro.errors import PgasError
 
@@ -57,7 +57,7 @@ def _wq_steal_handler(ctx: RankState, am) -> None:
     stats = _table(ctx).setdefault(("stats", qid), {"stolen_from": 0})
     if loot:
         stats["stolen_from"] += len(loot)
-    ctx.reply(am, payload=pickle.dumps(loot, protocol=-1))
+    ctx.reply(am, payload=tagged("wq_loot", loot))
 
 
 class DistWorkQueue:
@@ -123,8 +123,7 @@ class DistWorkQueue:
         t0 = time.perf_counter()
         fut = ctx.send_am(victim, "wq_steal", args=(self.qid,),
                           expect_reply=True)
-        _args, payload = fut.get()
-        loot = pickle.loads(payload)
+        _args, loot = fut.get()
         if tel.full:
             # Steal round trip: request -> loot (empty-handed included).
             tel.histogram("wq_steal_rtt").record_seconds(

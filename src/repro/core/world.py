@@ -227,6 +227,19 @@ class RankState:
         return progressed
 
     def _handle(self, am: ActiveMessage) -> None:
+        frame = am._frame
+        if frame is not None:
+            # Decode-at-target: the receiver materializes fresh objects
+            # from the wire frame (by-value delivery semantics).
+            tel = self.telemetry
+            if tel.full:
+                t0 = time.perf_counter()
+                am = frame.thaw()
+                tel.histogram("deser").record_seconds(
+                    time.perf_counter() - t0
+                )
+            else:
+                am = frame.thaw()
         self.stats.record_am_handled()
         if self.telemetry.active and am.handler not in (
             "__rel_ping__", "__rel_pong__", "__rel_ack__",
@@ -306,15 +319,11 @@ class RankState:
                 self.world.fail(self.rank, exc)
                 raise
             if task.reply_token is not None:
-                import pickle
-
-                try:
-                    payload = pickle.dumps(result, protocol=-1)
-                except Exception:
-                    payload = result  # in-process reference fallback
+                # The wire layer serializes the result into the reply
+                # frame (by-reference fallback for unencodable values).
                 self.send_reply_to(
                     task.reply_rank, task.reply_token,
-                    args=("__ok__",), payload=payload,
+                    args=("__ok__",), payload=result,
                 )
 
     def _activate(self):

@@ -55,19 +55,23 @@ class ActiveMessage:
     src_rank:
         Issuing rank.
     args:
-        Small positional arguments (must be picklable; their pickled size
-        is charged to the communication stats, mirroring the paper's
-        "pack the task function pointer and its arguments into a
-        contiguous buffer").
+        Small positional arguments, stream-encoded into the wire frame
+        (mirroring the paper's "pack the task function pointer and its
+        arguments into a contiguous buffer").
     payload:
-        Optional bulk payload (NumPy array or raw ``bytes``); transferred
-        by reference in the SMP conduit but charged by size.
+        Optional bulk payload (NumPy array, ``bytes``, or any value a
+        registered message codec or the generic encoding can carry);
+        bulk bytes travel as out-of-band buffers, not pickled streams.
     token:
         Correlation token for request/reply pairs; ``None`` when no reply
         is expected.
     is_reply:
         True when this message completes the initiator's future for
         ``token`` instead of running a named handler.
+    aux:
+        One fixed-width header word for transport-layer bookkeeping —
+        the reliability conduit's sequence/ack numbers ride here instead
+        of in the args tuple, keeping control traffic pickle-free.
     """
 
     handler: str
@@ -76,41 +80,25 @@ class ActiveMessage:
     payload: Optional[Any] = None
     token: Optional[int] = None
     is_reply: bool = False
-    # Filled in lazily: estimated wire size in bytes.
+    aux: int = 0
+    # Filled in at encode time: the message's wire frame and its exact
+    # encoded size (header + control stream + out-of-band buffers).
     _wire_bytes: int = field(default=-1, repr=False)
+    _frame: Optional[Any] = field(default=None, repr=False)
 
     @property
     def wire_bytes(self) -> int:
-        """Estimated serialized size (header + args + payload).
+        """Exact serialized size: the length of the encoded wire frame.
 
-        Sized with a **single** ``pickle.dumps`` per message: NumPy and
-        bytes-like payloads are measured without serializing at all, and
-        a generic payload is pickled *together with* the args tuple
-        instead of once each (the old path serialized twice per send
-        just to take two lengths).
+        Encoding is memoized on the message — the conduit's send path
+        reuses the same frame, so sizing a message never costs a second
+        serialization pass.
         """
         if self._wire_bytes < 0:
-            size = 32  # fixed header: handler id, ranks, token
-            payload = self.payload
-            if payload is None or isinstance(
-                payload, (np.ndarray, bytes, bytearray, memoryview)
-            ):
-                size += payload_nbytes(payload)
-                payload = None  # already measured; size only the args
-            if self.args or payload is not None:
-                try:
-                    size += len(pickle.dumps(
-                        (self.args, payload), protocol=-1
-                    )) - _EMPTY_COMBINED_LEN
-                except Exception:
-                    size += 64  # unpicklable in-process references
-            self._wire_bytes = size
+            from repro.gasnet.wire import encode_am
+
+            encode_am(self)
         return self._wire_bytes
-
-
-#: Overhead of pickling the (args, payload) 2-tuple wrapper itself;
-#: subtracted so arg sizing matches the old per-part estimate closely.
-_EMPTY_COMBINED_LEN = len(pickle.dumps(((), None), protocol=-1))
 
 
 def payload_nbytes(payload: Any) -> int:

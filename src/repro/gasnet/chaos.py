@@ -123,7 +123,7 @@ class ChaosConduit(SmpConduit):
         if self.fail_next_am is not None:
             exc, self.fail_next_am = self.fail_next_am, None
             raise exc
-        self._rank(src).stats.record_am(am.wire_bytes)
+        self._encode_and_record(src, am)
         if src == dst:  # loopback is reliable on any real transport
             self._rank(dst).deliver(am)
             return

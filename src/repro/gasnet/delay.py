@@ -58,7 +58,7 @@ class DelayConduit(SmpConduit):
         if self.fail_next_am is not None:
             exc, self.fail_next_am = self.fail_next_am, None
             raise exc
-        self._rank(src).stats.record_am(am.wire_bytes)
+        self._encode_and_record(src, am)
         delay = self.base_delay + float(self._rng.random()) * self.jitter
         with self._lock:
             due = time.monotonic() + delay

@@ -105,14 +105,11 @@ class _PendingAm:
         self.deadline = deadline
 
 
-def _control_am(handler: str, src: int, args: tuple = (),
-                payload=None) -> ActiveMessage:
-    """A small reliability-protocol AM with a fixed wire-size estimate
-    (avoids pickling envelope payloads just to size them)."""
-    am = ActiveMessage(handler=handler, src_rank=src, args=args,
-                       payload=payload)
-    am._wire_bytes = 16
-    return am
+def _control_am(handler: str, src: int, aux: int = 0) -> ActiveMessage:
+    """A reliability-protocol control AM.  The seq/ack number rides in
+    the frame header's ``aux`` word, so control traffic encodes to a
+    bare 42-byte header — no args, no pickle."""
+    return ActiveMessage(handler=handler, src_rank=src, aux=aux)
 
 
 class ReliableConduit(Conduit):
@@ -227,11 +224,13 @@ class ReliableConduit(Conduit):
         with self._tx_lock:
             seq = self._tx_seq.get((src, dst), 0)
             self._tx_seq[(src, dst)] = seq + 1
+            # The sequence number travels in the envelope header's aux
+            # word; the inner AM's frame is spliced in whole, so
+            # retransmissions reuse one encode.
             env = ActiveMessage(
-                handler="__rel_data__", src_rank=src, args=(seq,),
+                handler="__rel_data__", src_rank=src, aux=seq,
                 payload=am,
             )
-            env._wire_bytes = 40 + am.wire_bytes
             self._unacked[(src, dst, seq)] = _PendingAm(
                 env, am, src, dst, seq,
                 next_at=now + self.cfg.ack_timeout,
@@ -244,12 +243,12 @@ class ReliableConduit(Conduit):
 
     def _on_data(self, ctx, env: ActiveMessage) -> None:
         """Receiver side: ack, dedup, reorder into per-pair FIFO."""
-        src, dst, seq = env.src_rank, ctx.rank, env.args[0]
+        src, dst, seq = env.src_rank, ctx.rank, env.aux
         self._note_alive(src)
         ctx.stats.record_ack()
         try:
             self._inner.send_am(dst, src, _control_am(
-                "__rel_ack__", dst, args=(seq,)
+                "__rel_ack__", dst, aux=seq
             ))
         except TransientCommError:
             pass  # a lost ack just means one more retransmission
@@ -274,7 +273,7 @@ class ReliableConduit(Conduit):
             ctx._handle(inner_am)
 
     def _on_ack(self, ctx, am: ActiveMessage) -> None:
-        (seq,) = am.args
+        seq = am.aux
         self._note_alive(am.src_rank)
         with self._tx_lock:
             self._unacked.pop((ctx.rank, am.src_rank, seq), None)
@@ -332,12 +331,13 @@ class ReliableConduit(Conduit):
         )
         self._trace_control("op_timeout", e.src, e.dst, detail=diag)
         if e.inner.token is not None and not e.inner.is_reply:
+            # Delivered directly (never encoded): _handle accepts plain
+            # frameless AMs alongside thawed wire frames.
             err = ActiveMessage(
                 handler="__reply__", src_rank=e.dst,
                 args=("__error__", CommTimeout(diag)),
                 token=e.inner.token, is_reply=True,
             )
-            err._wire_bytes = 16
             world.ranks[e.src].deliver(err)
 
     def _send_heartbeats(self, world) -> None:

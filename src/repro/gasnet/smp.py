@@ -16,6 +16,7 @@ import numpy as np
 from repro.errors import PgasError
 from repro.gasnet.am import ActiveMessage
 from repro.gasnet.conduit import Conduit
+from repro.gasnet.wire import encode_am
 
 
 class SmpConduit(Conduit):
@@ -37,12 +38,23 @@ class SmpConduit(Conduit):
         return self.world.ranks[r]
 
     # -- active messages ------------------------------------------------
+    def _encode_and_record(self, src: int, am: ActiveMessage):
+        """Encode ``am`` into its wire frame and charge the sender's
+        stats.  Every conduit send path (smp, chaos, delay) funnels
+        through here so the frame exists before delivery and the
+        fixed-layout hit rate is observable."""
+        rank = self._rank(src)
+        frame = encode_am(am, rank.telemetry)
+        rank.stats.record_am(frame.nbytes)
+        rank.stats.record_wire(frame.used_pickle, frame.has_refs)
+        return frame
+
     def send_am(self, src: int, dst: int, am: ActiveMessage) -> None:
         if self.fail_next_am is not None:
             exc, self.fail_next_am = self.fail_next_am, None
             raise exc
         target = self._rank(dst)
-        self._rank(src).stats.record_am(am.wire_bytes)
+        self._encode_and_record(src, am)
         target.deliver(am)
 
     # -- one-sided RMA ---------------------------------------------------

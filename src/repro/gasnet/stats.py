@@ -65,6 +65,13 @@ class CommStats:
     kv_batched_keys: int = 0
     kv_cache_hits: int = 0
     kv_cache_misses: int = 0
+    # Wire layer (repro.gasnet.wire): frames encoded, how many stayed on
+    # the fixed-layout/struct fast path vs. fell back to pickle, and how
+    # many carried by-reference (unserializable) objects.
+    wire_frames: int = 0
+    wire_fixed: int = 0
+    pickle_fallbacks: int = 0
+    wire_byref: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_put(self, nbytes: int) -> None:
@@ -213,6 +220,20 @@ class CommStats:
             else:
                 self.kv_cache_misses += 1
 
+    # -- wire layer --------------------------------------------------------
+    def record_wire(self, used_pickle: bool, by_ref: bool) -> None:
+        """One encoded frame; ``used_pickle`` when any part of it fell
+        back to pickle, ``by_ref`` when it carried by-reference objects
+        (shared-memory semantics, never serialized)."""
+        with self._lock:
+            self.wire_frames += 1
+            if used_pickle:
+                self.pickle_fallbacks += 1
+            else:
+                self.wire_fixed += 1
+            if by_ref:
+                self.wire_byref += 1
+
     # ------------------------------------------------------------------
     # Derived properties read several counters that a concurrent
     # record_* may be mid-update on, so they all go through snapshot()
@@ -243,6 +264,13 @@ class CommStats:
         if not ops:
             return 0.0
         return (s["batched_elements"] + s["kv_batched_keys"]) / ops
+
+    @property
+    def wire_fixed_rate(self) -> float:
+        """Fraction of encoded frames that avoided pickle entirely (0.0
+        when no frames were encoded)."""
+        s = self.snapshot()
+        return s["wire_fixed"] / s["wire_frames"] if s["wire_frames"] else 0.0
 
     @property
     def kv_cache_hit_rate(self) -> float:
@@ -298,6 +326,10 @@ class CommStats:
                 "kv_batched_keys": self.kv_batched_keys,
                 "kv_cache_hits": self.kv_cache_hits,
                 "kv_cache_misses": self.kv_cache_misses,
+                "wire_frames": self.wire_frames,
+                "wire_fixed": self.wire_fixed,
+                "pickle_fallbacks": self.pickle_fallbacks,
+                "wire_byref": self.wire_byref,
             }
 
     def reset(self) -> None:
@@ -320,6 +352,8 @@ class CommStats:
             self.kv_deletes = self.kv_updates = 0
             self.kv_multi_ops = self.kv_batched_keys = 0
             self.kv_cache_hits = self.kv_cache_misses = 0
+            self.wire_frames = self.wire_fixed = 0
+            self.pickle_fallbacks = self.wire_byref = 0
 
 
 def aggregate(stats: list[CommStats]) -> dict:

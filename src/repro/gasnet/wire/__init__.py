@@ -1,0 +1,42 @@
+"""``repro.gasnet.wire`` — the serialization subsystem.
+
+Every active message crosses the conduit as a struct-packed
+:class:`~repro.gasnet.wire.frame.Frame`: a fixed binary header (no
+pickle for the envelope), tag-based stream encoding for args and
+payloads, out-of-band buffers for bulk data, a registry of fixed-layout
+message codecs for the hot message families, and pickle protocol 5
+(with out-of-band buffer callbacks) only as the fallback for genuinely
+dynamic values.  See docs/API.md, "Wire format and serialization".
+"""
+
+from repro.gasnet.wire.codecs import (  # noqa: F401
+    EncodedPayload,
+    Tagged,
+    UnencodableError,
+    bind_handler,
+    preencode,
+    register_message_codec,
+    set_force_pickle,
+    tagged,
+)
+from repro.gasnet.wire.frame import (  # noqa: F401
+    CODEC_ENCODED,
+    CODEC_NESTED_AM,
+    CODEC_NONE,
+    CODEC_OBJ,
+    HEADER,
+    WIRE_VERSION,
+    Frame,
+    FramePool,
+    encode_am,
+    handler_code,
+    handler_name,
+)
+
+__all__ = [
+    "EncodedPayload", "Tagged", "UnencodableError", "bind_handler",
+    "preencode", "register_message_codec", "set_force_pickle", "tagged",
+    "CODEC_ENCODED", "CODEC_NESTED_AM", "CODEC_NONE", "CODEC_OBJ",
+    "HEADER", "WIRE_VERSION", "Frame", "FramePool", "encode_am",
+    "handler_code", "handler_name",
+]

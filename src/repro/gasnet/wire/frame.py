@@ -1,0 +1,280 @@
+"""Struct-packed active-message frames.
+
+Every AM that crosses the conduit is encoded into a :class:`Frame`:
+
+* a 42-byte struct header (``HEADER``) — version, flags, payload codec
+  id, interned handler id, source rank, token, the reliability layer's
+  ``aux`` word (seq/ack numbers), total out-of-band bytes, and the
+  lengths of the two control-stream regions that follow;
+* the *args region*: the positional args tuple, stream-encoded;
+* the *meta region*: the payload, encoded by the codec the header
+  names — ``CODEC_OBJ`` (generic stream encode), ``CODEC_NESTED_AM``
+  (the reliability envelope: a whole inner frame spliced in),
+  ``CODEC_ENCODED`` (a pre-encoded fan-out payload) or a registered
+  fixed-layout message codec;
+* out-of-band buffer and by-reference tables, carried alongside the
+  control bytes rather than copied into them.
+
+The envelope never touches pickle: handler names are interned to small
+ints and everything else in the header is fixed-width.  Control
+bytearrays come from a bounded :class:`FramePool` and return to it when
+the receiver thaws the frame, so a steady-state AM stream allocates no
+fresh control buffers.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+import time
+
+from repro.gasnet.am import ActiveMessage
+from repro.gasnet.wire import codecs as _c
+
+# ver, flags, codec, pad, handler_id, src_rank, token, aux,
+# oob_nbytes, args_len, meta_len
+HEADER = struct.Struct("<BBBxHiqqqII")
+WIRE_VERSION = 1
+
+F_IS_REPLY = 1
+F_HAS_TOKEN = 2
+F_USED_PICKLE = 4
+F_HAS_REFS = 8
+
+CODEC_NONE = 0
+CODEC_OBJ = 1
+CODEC_NESTED_AM = 2
+CODEC_ENCODED = 3
+
+_HDR_ZEROS = bytes(HEADER.size)
+
+
+# -- handler-name interning --------------------------------------------------
+_handler_ids: dict[str, int] = {}
+_handler_names: list[str] = []
+_intern_lock = threading.Lock()
+
+
+def handler_code(name: str) -> int:
+    """Intern a handler name to a small stable int (process-wide)."""
+    hid = _handler_ids.get(name)
+    if hid is None:
+        with _intern_lock:
+            hid = _handler_ids.get(name)
+            if hid is None:
+                hid = len(_handler_names)
+                if hid > 0xFFFF:
+                    raise OverflowError("handler id space exhausted")
+                _handler_names.append(name)
+                _handler_ids[name] = hid
+    return hid
+
+
+def handler_name(hid: int) -> str:
+    return _handler_names[hid]
+
+
+# -- control-buffer pool -----------------------------------------------------
+class FramePool:
+    """Bounded stack of reusable control bytearrays."""
+
+    __slots__ = ("_bufs", "_lock", "capacity")
+
+    def __init__(self, capacity: int = 64):
+        self._bufs: list[bytearray] = []
+        self._lock = threading.Lock()
+        self.capacity = capacity
+
+    def get(self) -> bytearray:
+        with self._lock:
+            if self._bufs:
+                return self._bufs.pop()
+        return bytearray()
+
+    def put(self, buf: bytearray) -> None:
+        with self._lock:
+            if len(self._bufs) >= self.capacity:
+                return
+            for b in self._bufs:
+                if b is buf:  # double release: keep the pool coherent
+                    return
+            try:
+                buf.clear()
+            except BufferError:  # a live memoryview still pins it
+                return
+            self._bufs.append(buf)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._bufs)
+
+
+_pool = FramePool()
+
+
+# -- frames ------------------------------------------------------------------
+class Frame:
+    """One encoded AM: control bytes + buffer/ref tables."""
+
+    __slots__ = ("ctrl", "buffers", "refs", "nbytes", "used_pickle",
+                 "has_refs", "pooled", "_decoded")
+
+    def __init__(self, ctrl, buffers, refs, nbytes, used_pickle,
+                 has_refs, pooled):
+        self.ctrl = ctrl
+        self.buffers = buffers
+        self.refs = refs
+        self.nbytes = nbytes
+        self.used_pickle = used_pickle
+        self.has_refs = has_refs
+        self.pooled = pooled
+        self._decoded = None
+
+    def thaw(self) -> ActiveMessage:
+        """Decode into a fresh :class:`ActiveMessage` (memoized, so a
+        duplicated delivery of the same frame decodes once)."""
+        am = self._decoded
+        if am is not None:
+            return am
+        ctrl = self.ctrl
+        (_ver, flags, codec_id, hid, src, tok, aux, _nbuf, args_len,
+         meta_len) = HEADER.unpack_from(ctrl, 0)
+        mv = memoryview(ctrl)
+        try:
+            pos = HEADER.size
+            args = ()
+            if args_len:
+                args = _c.Decoder(mv, pos, self.buffers,
+                                  self.refs).decode()
+                pos += args_len
+            payload = None
+            if codec_id != CODEC_NONE:
+                dec = _c.Decoder(mv, pos, self.buffers, self.refs)
+                if codec_id == CODEC_OBJ:
+                    payload = dec.decode()
+                elif codec_id == CODEC_NESTED_AM:
+                    payload = _dec_nested_am(dec)
+                elif codec_id == CODEC_ENCODED:
+                    payload = _c._dec_encoded(dec)
+                else:
+                    payload = _c.codec_by_code(codec_id).decode(dec)
+        finally:
+            mv.release()
+        am = ActiveMessage(
+            handler=handler_name(hid), src_rank=src, args=args,
+            payload=payload,
+            token=tok if flags & F_HAS_TOKEN else None,
+            is_reply=bool(flags & F_IS_REPLY), aux=aux)
+        am._wire_bytes = self.nbytes
+        self._decoded = am
+        if self.pooled:
+            self.pooled = False
+            _pool.put(ctrl)
+        return am
+
+
+def _enc_nested_am(enc, inner_am) -> None:
+    """Splice a whole inner frame (the reliability data envelope) —
+    the inner encode is memoized, so retransmitted envelopes reuse it."""
+    inner = encode_am(inner_am)
+    enc.out += _c._5I.pack(len(inner.ctrl), len(enc.buffers),
+                           len(inner.buffers), len(enc.refs),
+                           len(inner.refs))
+    enc.out += inner.ctrl
+    enc.buffers += inner.buffers
+    enc.refs += inner.refs
+    if inner.used_pickle:
+        enc.used_pickle = True
+
+
+def _dec_nested_am(dec) -> ActiveMessage:
+    clen, bstart, bcount, rstart, rcount = _c._5I.unpack_from(
+        dec.mv, dec.pos)
+    dec.pos += 20
+    # the inner control bytes are copied out: the outer frame's pooled
+    # buffer is recycled the moment the envelope is thawed
+    ctrl = bytes(dec.mv[dec.pos:dec.pos + clen])
+    dec.pos += clen
+    buffers = dec.buffers[bstart:bstart + bcount]
+    refs = dec.refs[rstart:rstart + rcount]
+    nbuf = 0
+    for b in buffers:
+        nbuf += _c.buf_nbytes(b)
+    inner = Frame(ctrl, buffers, refs, clen + nbuf, False, False,
+                  pooled=False)
+    return inner.thaw()
+
+
+def encode_am(am: ActiveMessage, tel=None) -> Frame:
+    """Encode an AM into its wire frame (memoized on the message)."""
+    frame = am._frame
+    if frame is not None:
+        return frame
+    t0 = time.perf_counter() if tel is not None and tel.full else None
+    enc = _c.Encoder(out=_pool.get())
+    out = enc.out
+    out += _HDR_ZEROS
+    args = am.args
+    if args:
+        enc.encode(args)
+    args_len = len(out) - HEADER.size
+    payload = am.payload
+    codec_id = CODEC_NONE
+    if payload is not None:
+        tp = type(payload)
+        if tp is ActiveMessage:
+            codec_id = CODEC_NESTED_AM
+            _enc_nested_am(enc, payload)
+        elif tp is _c.EncodedPayload:
+            codec_id = CODEC_ENCODED
+            _c.splice_encoded(enc, payload)
+        elif enc.force_pickle:
+            codec_id = CODEC_OBJ
+            enc.encode(payload.obj if tp is _c.Tagged else payload)
+        elif tp is _c.Tagged:
+            codec_id = payload.codec.code
+            payload.codec.encode(enc, payload.obj)
+        else:
+            mc = _c.handler_codec(am.handler)
+            if mc is not None:
+                codec_id = mc.code
+                mark = (len(out), len(enc.buffers), len(enc.refs))
+                try:
+                    mc.encode(enc, payload)
+                except Exception:
+                    # unexpected payload shape: fall back to the
+                    # generic stream encoding
+                    del out[mark[0]:]
+                    del enc.buffers[mark[1]:]
+                    del enc.refs[mark[2]:]
+                    codec_id = CODEC_OBJ
+                    enc.encode(payload)
+            else:
+                codec_id = CODEC_OBJ
+                enc.encode(payload)
+    meta_len = len(out) - HEADER.size - args_len
+    flags = 0
+    if am.is_reply:
+        flags |= F_IS_REPLY
+    tok = am.token
+    if tok is None:
+        tok = 0
+    else:
+        flags |= F_HAS_TOKEN
+    if enc.used_pickle:
+        flags |= F_USED_PICKLE
+    if enc.refs:
+        flags |= F_HAS_REFS
+    nbuf = 0
+    for b in enc.buffers:
+        nbuf += _c.buf_nbytes(b)
+    HEADER.pack_into(out, 0, WIRE_VERSION, flags, codec_id,
+                     handler_code(am.handler), am.src_rank, tok,
+                     am.aux, nbuf, args_len, meta_len)
+    frame = Frame(out, enc.buffers, enc.refs, len(out) + nbuf,
+                  enc.used_pickle, bool(enc.refs), pooled=True)
+    am._frame = frame
+    am._wire_bytes = frame.nbytes
+    if t0 is not None:
+        tel.histogram("ser").record_seconds(time.perf_counter() - t0)
+    return frame

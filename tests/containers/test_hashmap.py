@@ -13,11 +13,21 @@ from tests.conftest import run_spmd
 
 
 def test_shard_of_stable_and_in_range():
-    for key in ["a", ("k", 3), 17, b"bytes", frozenset({1, 2})]:
+    for key in ["a", ("k", 3), 17, b"bytes", frozenset({1, 2}), -5,
+                1 << 80, ""]:
         owner = shard_of(key, 4)
         assert 0 <= owner < 4
         assert owner == shard_of(key, 4)  # deterministic
-        assert owner == zlib.crc32(pickle.dumps(key, protocol=4)) % 4
+    # str/bytes/int hash their raw bytes — no pickling on the hot path.
+    assert shard_of("a", 4) == zlib.crc32(b"a") % 4
+    assert shard_of(b"bytes", 4) == zlib.crc32(b"bytes") % 4
+    assert shard_of(17, 4) == zlib.crc32(
+        (17).to_bytes(1, "little", signed=True)) % 4
+    # Everything else keeps the pickled-crc32 fallback, so existing
+    # placements of exotic keys are unchanged.
+    for key in [("k", 3), frozenset({1, 2}), None, 3.5]:
+        assert shard_of(key, 4) == \
+            zlib.crc32(pickle.dumps(key, protocol=4)) % 4
 
 
 def test_put_get_delete_roundtrip(nranks):
