@@ -51,11 +51,13 @@ from repro.core import (
     collectives,
     copy,
     current_world,
+    dead_ranks,
     deallocate,
     die,
     escalate,
     fence,
     finish,
+    live_ranks,
     myrank,
     null_ptr,
     ranks,
@@ -80,6 +82,7 @@ __version__ = "0.1.0"
 __all__ = [
     "spmd", "myrank", "ranks", "MYTHREAD", "THREADS",
     "barrier", "fence", "advance", "current_world",
+    "live_ranks", "dead_ranks",
     "GlobalPtr", "null_ptr", "allocate", "deallocate", "escalate",
     "SharedVar", "SharedArray", "Directory",
     "copy", "async_copy", "async_copy_fence", "CopyHandle",

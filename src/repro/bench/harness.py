@@ -529,6 +529,44 @@ def export_serde(path: str, ranks: int = 4) -> dict:
     return out
 
 
+def export_failover(path: str, ranks: int = 4) -> dict:
+    """Kill-mid-workload failover benchmark -> ``BENCH_7.json``.
+
+    Runs :func:`repro.bench.kv_workload.run_failover` — a replicated
+    map under ``ReliableConduit(ChaosConduit)`` with a victim rank
+    partitioned mid-workload — and writes acked-write loss, failover
+    latency percentiles, promotion count, replication
+    write-amplification, pre/post-kill throughput, and the seeded
+    fault schedule.  CI uploads the file and asserts zero loss, at
+    least one promotion, the recovered-throughput floor, and the
+    failover-latency bound.
+    """
+    import dataclasses
+    import json
+
+    from repro.bench import kv_workload
+
+    r = kv_workload.run_failover(ranks=ranks, telemetry="full")
+    out = dataclasses.asdict(r)
+    with open(path, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {path}")
+    print(f"  acked writes {r.acked_writes}, lost {r.lost_writes}, "
+          f"failovers {r.failovers}, promotions {r.promotions}")
+    print(f"  failover p50/p99 {r.failover_p50_ms:.2f}/"
+          f"{r.failover_p99_ms:.2f} ms  "
+          f"detect stall {r.detect_stall_ms:.0f} ms")
+    print(f"  write amp x{r.write_amplification:.2f}  "
+          f"throughput pre {r.pre_kill_ops_per_sec:.0f} -> recovered "
+          f"{r.recovered_ops_per_sec:.0f} ops/s "
+          f"(ratio {r.recovery_ratio:.2f})")
+    print(f"  {len(r.fault_schedule['faults'])} injected faults "
+          f"(seed {r.fault_schedule['seed']}), "
+          f"verified={r.verified}")
+    return out
+
+
 def export_perfetto(path: str, ranks: int = 4,
                     keys_per_rank: int = 2048) -> None:
     """4-rank sample sort -> Chrome/Perfetto ``trace_event`` JSON.
@@ -617,11 +655,17 @@ def main(argv=None) -> int:
                              "(wire codec vs forced-pickle baseline) "
                              "and write per-mode p50s, speedups and "
                              "the fixed-layout hit rate as JSON")
+    parser.add_argument("--failover", metavar="PATH",
+                        help="run the replicated-map kill-mid-workload "
+                             "failover benchmark and write acked-write "
+                             "loss, failover percentiles, write "
+                             "amplification and the fault schedule as "
+                             "JSON")
     args = parser.parse_args(argv)
     global _CHARTS
     _CHARTS = args.charts
     if (args.metrics or args.perfetto or args.kv or args.collectives
-            or args.serde):
+            or args.serde or args.failover):
         if args.metrics:
             export_metrics(args.metrics,
                            ranks=args.validate_ranks or 4)
@@ -635,6 +679,9 @@ def main(argv=None) -> int:
                                ranks=args.validate_ranks or 4)
         if args.serde:
             export_serde(args.serde, ranks=args.validate_ranks or 4)
+        if args.failover:
+            export_failover(args.failover,
+                            ranks=args.validate_ranks or 4)
         if not (args.artifacts or args.calibrate or args.validate_ranks):
             return 0
     wanted = args.artifacts or list(ARTIFACTS)

@@ -19,8 +19,20 @@ Two phases:
    This is the acceptance gate: ≤ nranks AMs per ``multi_get`` and a
    ≥ 5× speedup over the scalar loop.
 
+:func:`run_failover` is the survivability variant: a replicated map
+(``replicas=1``) under ``ReliableConduit(ChaosConduit)`` with a victim
+rank that partitions itself (``kill_rank``) and dies mid-workload.  The
+survivors keep operating through the failure — the first op that
+touches the dead primary stalls on detection, fails over to the
+promoted backup, and the run then verifies **every write any rank ever
+got an ack for** (including the victim's, read post-mortem from shared
+memory) is still readable.  Reported: zero-loss verification, failover
+latency percentiles, promotion count, replication write-amplification,
+and pre-kill vs recovered throughput.
+
 Run as a module (``python -m repro.bench.kv_workload``) or through the
-harness (``python -m repro.bench.harness --kv BENCH.json``).
+harness (``python -m repro.bench.harness --kv BENCH.json`` /
+``--failover BENCH_7.json``).
 """
 
 from __future__ import annotations
@@ -58,6 +70,39 @@ class KvResult:
     loop_us: float
     multi_speedup: float
     verified: bool
+    stats: dict = field(default_factory=dict)
+
+
+@dataclass
+class KvFailoverResult:
+    ranks: int
+    keys: int
+    ops_per_rank: int
+    replicas: int
+    victim: int
+    seed: int
+    # correctness: every acked write must read back after the kill
+    acked_writes: int
+    lost_writes: int
+    verified: bool
+    # failover mechanics
+    failovers: int
+    promotions: int
+    failover_p50_ms: float
+    failover_p99_ms: float
+    detect_stall_ms: float
+    # replication cost
+    repl_records: int
+    mutations: int
+    write_amplification: float
+    # throughput: pre-kill steady state vs post-kill (including the
+    # detection stall) vs recovered steady state (first successful
+    # post-kill op onward)
+    pre_kill_ops_per_sec: float
+    post_kill_ops_per_sec: float
+    recovered_ops_per_sec: float
+    recovery_ratio: float
+    fault_schedule: dict = field(default_factory=dict)
     stats: dict = field(default_factory=dict)
 
 
@@ -200,6 +245,222 @@ def run(ranks: int = 4, keys: int = 2048, ops_per_rank: int = 1500,
         verified=verified,
         stats=agg,
     )
+
+
+def run_failover(ranks: int = 4, keys: int = 1024,
+                 ops_per_rank: int = 1200, read_fraction: float = 0.7,
+                 zipf_a: float = 1.5, value_size: int = 32,
+                 seed: int = 7, am_drop_rate: float = 0.01,
+                 am_dup_rate: float = 0.01, am_reorder_rate: float = 0.02,
+                 peer_timeout: float = 0.4,
+                 telemetry=None) -> KvFailoverResult:
+    """Kill a rank mid-workload and prove no acked write is lost.
+
+    Phase A: every rank runs a zipf-skewed read/write mix against a
+    ``replicas=1`` map over ``ReliableConduit(ChaosConduit)``.  At the
+    midpoint the victim partitions itself (``kill_rank``) and dies;
+    the survivors run phase B through the failover and then verify the
+    union of all shadowed acked writes — the victim's shadow survives
+    it in shared memory, so its acked-but-orphaned writes are checked
+    too.  Rendezvous after the kill uses shared-memory flags, never
+    collectives (a tree barrier would hang on the dead member).
+    """
+    from repro.gasnet.chaos import ChaosConduit
+
+    conduit = ChaosConduit(
+        seed=seed, am_drop_rate=am_drop_rate, am_dup_rate=am_dup_rate,
+        am_reorder_rate=am_reorder_rate,
+    )
+    victim = 1 if ranks > 1 else 0
+    # Cross-rank state shared by closure: SMP ranks are threads of one
+    # process, so the victim's shadow dict outlives the victim.
+    shadow: dict = {r: {} for r in range(ranks)}
+    counts: dict = {r: 0 for r in range(ranks)}
+    flags: dict = {"killed": False, "t_kill": None}
+    wrote: dict = {r: False for r in range(ranks)}
+    done: dict = {r: False for r in range(ranks)}
+    ready: dict = {r: False for r in range(ranks)}
+
+    def body():
+        me, n = repro.myrank(), repro.ranks()
+        ctx = repro.current_world().ranks[me]
+        rng = np.random.default_rng((seed << 8) ^ me)
+        m = repro.DistHashMap(replicas=1)
+        keyspace = [f"fo:{i:06d}" for i in range(keys)]
+        write_keys = [k for i, k in enumerate(keyspace) if i % n == me]
+        filler = "v" * value_size
+
+        m.multi_put({k: (filler, -1) for i, k in enumerate(keyspace)
+                     if i % n == me})
+        repro.barrier()
+        ctx.stats.reset()
+        repro.barrier()
+
+        def one_op(op):
+            if rng.random() < read_fraction:
+                i = int(rng.zipf(zipf_a) - 1) % keys
+                m.get(keyspace[i])
+            else:
+                k = write_keys[int(rng.integers(len(write_keys)))]
+                v = (filler, int(rng.integers(1 << 30)))
+                m.put(k, v)
+                # recorded only after the ack returned: the shadow is
+                # exactly the set of writes the workload was promised
+                shadow[me][k] = v
+                counts[me] += 1
+
+        half = ops_per_rank // 2
+        stamps_a: list = []
+        for op in range(half):
+            one_op(op)
+            stamps_a.append(time.perf_counter())
+        repro.barrier()  # all alive: a real barrier is still legal here
+        # Shared-memory rendezvous before the partition: a rank that
+        # has *returned* from the barrier may still owe release
+        # forwarding to its tree children, so the victim must not go
+        # silent until everyone is past it.
+        ready[me] = True
+        ctx.world.poke_all()
+        ctx.wait_until(lambda: all(ready[r] for r in range(n)),
+                       what="failover bench: past-the-barrier rendezvous")
+
+        if me == victim and n > 1:
+            # Partition, don't exit: a silent-but-running victim forces
+            # the survivors through the *detection* path (heartbeat
+            # silence -> RankDead after peer_timeout) instead of the
+            # instant in-process dead-flag shortcut, so the measured
+            # failover latency includes real detection time.
+            conduit.kill_rank(me)
+            flags["t_kill"] = time.perf_counter()
+            flags["killed"] = True
+            ctx.wait_until(
+                lambda: all(done[r] for r in range(n) if r != victim),
+                what="failover bench: partitioned victim parks",
+            )
+            return None
+
+        if n > 1:
+            ctx.wait_until(lambda: flags["killed"],
+                           what="failover bench: wait for the kill")
+        stamps_b: list = []
+        # First post-kill op targets the victim's own shard, so every
+        # survivor measures a client-observed failover (an op actually
+        # in flight to the dead primary when detection fires).  Without
+        # this the sample is interleaving-dependent: a rank whose first
+        # blocked op hits a shard the victim only *backs up* stalls in
+        # the owner's re-replication instead and never sees RankDead.
+        probe = next((k for k in write_keys
+                      if m.shard_of_key(k) == victim), None)
+        if probe is not None and n > 1:
+            v = (filler, int(rng.integers(1 << 30)))
+            m.put(probe, v)
+            shadow[me][probe] = v
+            counts[me] += 1
+            stamps_b.append(time.perf_counter())
+        for op in range(half):
+            one_op(op)
+            stamps_b.append(time.perf_counter())
+
+        # Survivors must all finish writing before anyone verifies:
+        # the shadows are shared mutable state, and reading another
+        # rank's shadow mid-write would race its next overwrite.
+        wrote[me] = True
+        ctx.world.poke_all()
+        ctx.wait_until(
+            lambda: all(wrote[r] for r in range(n) if r != victim),
+            what="failover bench: end-of-writes rendezvous",
+        )
+
+        # -- verify every acked write in the union of all shadows
+        m.refresh()
+        lost = 0
+        total = 0
+        for r in range(n):
+            items = sorted(shadow[r].items())
+            if not items:
+                continue
+            total += len(items)
+            got = m.multi_get([k for k, _v in items], default=None)
+            lost += sum(1 for (_k, v), g in zip(items, got) if g != v)
+
+        done[me] = True
+        ctx.world.poke_all()
+        ctx.wait_until(
+            lambda: all(done[r] for r in range(n) if r != victim),
+            what="failover bench: survivor rendezvous",
+        )
+        agg = None
+        if me == 0:
+            agg = aggregate([r.stats for r in repro.current_world().ranks])
+        return (me, total, lost, stamps_a, stamps_b,
+                m.failovers, list(m.failover_latencies), agg)
+
+    res = repro.spmd(
+        body, ranks=ranks, conduit=conduit,
+        reliability={"seed": seed, "peer_timeout": peer_timeout,
+                     "heartbeat_period": 0.02},
+        heartbeat_timeout=peer_timeout, heartbeat_period=0.02,
+        survive_rank_death=True, telemetry=telemetry, timeout=120.0,
+    )
+    alive = [r for r in res if r is not None]
+    agg = next(r[7] for r in alive if r[7] is not None)
+    acked = max(r[1] for r in alive)
+    lost = max(r[2] for r in alive)
+    failovers = sum(r[5] for r in alive)
+    fo_lat_ms = [1e3 * x for r in alive for x in r[6]]
+    fo_p50, fo_p99 = _percentiles(fo_lat_ms)
+
+    # throughput windows from per-op completion stamps
+    a_stamps = [t for r in alive for t in r[3]]
+    b_stamps = [t for r in alive for t in r[4]]
+    t_kill = flags["t_kill"] or (max(a_stamps) if a_stamps else 0.0)
+    pre = (len(a_stamps) / (max(a_stamps) - min(a_stamps))
+           if len(a_stamps) > 1 else 0.0)
+    post = recovered = stall_ms = 0.0
+    if len(b_stamps) > 1:
+        t_first, t_end = min(b_stamps), max(b_stamps)
+        stall_ms = max(0.0, (t_first - t_kill)) * 1e3
+        if t_end > t_kill:
+            post = len(b_stamps) / (t_end - t_kill)
+        if t_end > t_first:
+            recovered = len(b_stamps) / (t_end - t_first)
+    mutations = sum(counts.values())
+    repl = agg["kv_repl_records"]
+    return KvFailoverResult(
+        ranks=ranks, keys=keys, ops_per_rank=ops_per_rank, replicas=1,
+        victim=victim, seed=seed,
+        acked_writes=acked, lost_writes=lost, verified=lost == 0,
+        failovers=failovers, promotions=agg["kv_promotions"],
+        failover_p50_ms=fo_p50, failover_p99_ms=fo_p99,
+        detect_stall_ms=stall_ms,
+        repl_records=repl, mutations=mutations,
+        write_amplification=repl / mutations if mutations else 0.0,
+        pre_kill_ops_per_sec=pre, post_kill_ops_per_sec=post,
+        recovered_ops_per_sec=recovered,
+        recovery_ratio=recovered / pre if pre > 0 else 0.0,
+        fault_schedule=conduit.fault_schedule(),
+        stats=agg,
+    )
+
+
+def main_failover() -> int:
+    r = run_failover()
+    print(f"kv failover: {r.ranks} ranks, replicas={r.replicas}, "
+          f"victim={r.victim} killed mid-workload (seed {r.seed})")
+    print(f"  acked writes     {r.acked_writes:12d}  lost {r.lost_writes}")
+    print(f"  failovers        {r.failovers:12d}  promotions "
+          f"{r.promotions}")
+    print(f"  failover p50/p99 {r.failover_p50_ms:8.2f} / "
+          f"{r.failover_p99_ms:8.2f} ms  (detect stall "
+          f"{r.detect_stall_ms:.1f} ms)")
+    print(f"  write amp        {r.write_amplification:12.2f} "
+          f"({r.repl_records} repl records / {r.mutations} mutations)")
+    print(f"  throughput       {r.pre_kill_ops_per_sec:10.0f} pre  "
+          f"{r.recovered_ops_per_sec:10.0f} recovered  "
+          f"(ratio {r.recovery_ratio:.2f})")
+    print(f"  faults injected  {len(r.fault_schedule['faults']):12d}")
+    print(f"  verified         {r.verified}")
+    return 0 if r.verified and r.promotions >= 1 else 1
 
 
 def main() -> int:

@@ -20,7 +20,14 @@ Both compose with the rest of the stack: exactly-once mutation under
 telemetry is enabled.
 """
 
-from repro.containers.hashmap import DistHashMap, shard_of
+from repro.containers.hashmap import (
+    DistHashMap,
+    KvOwnerDead,
+    KvRedirect,
+    KvStalePrimary,
+    shard_of,
+)
 from repro.containers.queue import DistQueue
 
-__all__ = ["DistHashMap", "DistQueue", "shard_of"]
+__all__ = ["DistHashMap", "DistQueue", "shard_of",
+           "KvOwnerDead", "KvRedirect", "KvStalePrimary"]

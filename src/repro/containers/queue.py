@@ -11,8 +11,15 @@ bias, which is what load-balanced consumption requires).
 Remote push is exactly-once under ``ReliableConduit(ChaosConduit)``:
 the push AM is sequenced/deduped by the reliability layer, and the
 outstanding-items counter is bumped by the *producer* (an exactly-once
-retried atomic) before the item is shipped, so the quiesce count can
-never read zero while a pushed item is in flight.
+retried atomic) only **after** the target acks the push.  Bumping
+before the send looks safer (the count can never dip while an item is
+in flight) but silently over-counts when the target rank dies before
+delivery — the items never land, yet quiesce waits for acks that can
+never come.  Bump-after-ack keeps the counter equal to items that
+*actually* landed; the push future is blocking, so the producer itself
+cannot observe a window where its items exist without being counted,
+and a dead target surfaces as :class:`~repro.errors.RankDead` naming
+the queue and item count instead of a hung quiesce.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import Any, Iterable, Optional
 
 from repro.core.workqueue import DistWorkQueue, _table
 from repro.core.world import RankState, current
+from repro.errors import PeerFailure, RankDead
 from repro.gasnet.am import am_handler
 
 
@@ -69,16 +77,28 @@ class DistQueue:
             return 0
         if to is None or to == ctx.rank:
             return self._wq.add_local(items)
-        # Producer bumps the quiesce counter *before* shipping: the
-        # counter is an exactly-once retried atomic, so a reordered or
-        # retried push can never let outstanding() touch zero while the
-        # items are in flight.
-        self._wq._outstanding.atomic("add", len(items))
         fut = ctx.send_am(
             to, "dq_push", args=(self.qid,),
             payload=items, expect_reply=True,
         )
-        (n, *_), _pl = fut.get()
+        try:
+            (n, *_), _pl = fut.get()
+        except (RankDead, PeerFailure) as exc:
+            # The items never landed and were never counted, so quiesce
+            # cannot undercount — surface a diagnostic naming the queue
+            # and what was lost.
+            raise RankDead(
+                f"dq_push: target rank {to} died before acking "
+                f"{len(items)} item(s) pushed to queue {self.qid}; "
+                f"items were not enqueued ({exc})"
+            ) from exc
+        # Producer bumps the quiesce counter only after the target
+        # acked: the counter (an exactly-once retried atomic) then
+        # counts items that actually landed, so a push to a dead rank
+        # can never leave quiesce waiting on phantom items.  The push
+        # future blocks, so the producer observes count-then-consume
+        # ordering just as before.
+        self._wq._outstanding.atomic("add", n)
         self.pushed_remote += n
         if ctx.telemetry.active:
             ctx.telemetry.flight_event(

@@ -116,6 +116,7 @@ class _AsyncCall:
                 token = ctx.new_token()
                 with ctx._pending_lock:
                     ctx._pending[token] = fut
+                    ctx._pending_dst[token] = target
                 from repro.gasnet.am import ActiveMessage
 
                 am = ActiveMessage(

@@ -34,7 +34,7 @@ from repro.core import collectives
 from repro.core.shared_var import SharedVar
 from repro.gasnet.wire import tagged
 from repro.core.world import RankState, current
-from repro.errors import PgasError
+from repro.errors import PeerFailure, PgasError, RankDead
 
 _SCRATCH_KEY = "workqueues"
 
@@ -116,14 +116,20 @@ class DistWorkQueue:
         n = ctx.world.n_ranks
         if n == 1:
             return False
-        victim = int(self._rng.integers(0, n - 1))
-        if victim >= ctx.rank:
-            victim += 1
+        dead = ctx.world.dead_ranks
+        candidates = [r for r in range(n)
+                      if r != ctx.rank and r not in dead]
+        if not candidates:
+            return False
+        victim = candidates[int(self._rng.integers(0, len(candidates)))]
         self.steals_attempted += 1
         t0 = time.perf_counter()
         fut = ctx.send_am(victim, "wq_steal", args=(self.qid,),
                           expect_reply=True)
-        _args, loot = fut.get()
+        try:
+            _args, loot = fut.get()
+        except (RankDead, PeerFailure):
+            return False  # victim died mid-steal; nothing was claimed
         if tel.full:
             # Steal round trip: request -> loot (empty-handed included).
             tel.histogram("wq_steal_rtt").record_seconds(

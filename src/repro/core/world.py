@@ -102,6 +102,7 @@ class RankState:
         self.task_queue: deque[_Task] = deque()
         self._pending_lock = threading.Lock()
         self._pending: dict[int, Any] = {}  # token -> Future
+        self._pending_dst: dict[int, int] = {}  # token -> dst rank
         self._token_counter = itertools.count(1)
         # The handler lock serializes AM-handler/task execution between the
         # rank's own advance() and the shared progress thread (paper's
@@ -123,6 +124,9 @@ class RankState:
         # Free-form per-rank scratch space for applications/benchmarks.
         self.scratch: dict[str, Any] = {}
         self.done = False
+        #: Set when the rank's SPMD body returned (survivable-death
+        #: finalize waits on this instead of a world barrier).
+        self.body_done = False
         #: Set when this rank "crashed" (see :func:`die`); the failure
         #: detector converts it into a PeerFailure on every other rank.
         self.dead = False
@@ -158,6 +162,7 @@ class RankState:
             fut = Future(self)
             with self._pending_lock:
                 self._pending[token] = fut
+                self._pending_dst[token] = dst
             if self.telemetry.full:
                 # AM round-trip latency: request send -> reply handled.
                 tel, t0 = self.telemetry, time.perf_counter()
@@ -170,6 +175,28 @@ class RankState:
         )
         self.world.conduit.send_am(self.rank, dst, am)
         return fut
+
+    def fail_pending(self, exc: BaseException,
+                     dst: int | None = None) -> None:
+        """Fail outstanding reply futures addressed to ``dst`` (all
+        destinations when ``dst`` is None) with ``exc``.
+
+        The reliability layer synthesizes error replies only for
+        *unacked* requests; a request acked just before its target died
+        leaves an orphaned future that nothing would ever complete —
+        this is the death-time sweep that rescues those waiters.
+        """
+        with self._pending_lock:
+            doomed = [t for t, d in self._pending_dst.items()
+                      if dst is None or d == dst]
+            futs = []
+            for t in doomed:
+                self._pending_dst.pop(t, None)
+                f = self._pending.pop(t, None)
+                if f is not None:
+                    futs.append(f)
+        for f in futs:
+            f.set_exception(exc)
 
     def reply(self, am: ActiveMessage, args: tuple = (),
               payload: Any = None) -> None:
@@ -252,6 +279,7 @@ class RankState:
             if am.is_reply:
                 with self._pending_lock:
                     fut = self._pending.pop(am.token, None)
+                    self._pending_dst.pop(am.token, None)
                 if fut is None:
                     # Under the reliability layer a reply can legally
                     # arrive after the op's deadline already completed
@@ -414,6 +442,17 @@ class World:
         latency histograms and spans.  Also accepts a dict of
         :class:`~repro.telemetry.TelemetryConfig` fields or a ready
         config.  See :mod:`repro.telemetry`.
+    ``survive_rank_death``:
+        ``False`` (default) keeps the historical contract: the first
+        :class:`~repro.errors.RankDead` fails the whole world and every
+        blocked peer raises :class:`~repro.errors.PeerFailure`.  With
+        ``True`` a detected death is *survivable*: the dead rank is
+        recorded in :attr:`dead_ranks`, subscribers registered via
+        :meth:`on_rank_death` are notified (this is what drives
+        DistHashMap backup promotion), in-flight AMs to the dead peer
+        fail fast with ``RankDead``, and the surviving ranks keep
+        running.  The implicit finalize barrier degrades to a
+        done-or-dead wait so survivors can exit without the dead rank.
     """
 
     def __init__(
@@ -427,6 +466,7 @@ class World:
         heartbeat_timeout: float | None = None,
         heartbeat_period: float = 0.02,
         telemetry=None,
+        survive_rank_death: bool = False,
     ):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
@@ -438,6 +478,11 @@ class World:
         self.op_timeout = op_timeout
         self.heartbeat_timeout = heartbeat_timeout
         self.heartbeat_period = heartbeat_period
+        self.survive_rank_death = bool(survive_rank_death)
+        #: Ranks declared dead by any failure detector (heartbeat
+        #: silence or :func:`die`).  Read freely; written via mark_dead.
+        self.dead_ranks: set[int] = set()
+        self._death_subs: list[Callable[[int, BaseException], None]] = []
         #: Observability state (histograms, flight recorder, spans) —
         #: see :mod:`repro.telemetry`.  Mode "off" records nothing and
         #: installs no conduit wrapper.
@@ -492,6 +537,69 @@ class World:
                 self._failure = (rank, exc)
         self.poke_all()
 
+    # -- rank-death notification ---------------------------------------------
+    def on_rank_death(self, callback: Callable[[int, BaseException], None]
+                      ) -> None:
+        """Subscribe to rank-death events (RankDead).
+
+        ``callback(rank, exc)`` runs on the detector's thread — it must
+        be quick and must not block on communication (record the event,
+        consume it from a rank thread).  This is the failover hook: the
+        replicated containers subscribe to flip their shard tables and
+        promote backups.
+        """
+        with self._glock:
+            self._death_subs.append(callback)
+
+    def mark_dead(self, rank: int, exc: BaseException) -> None:
+        """Declare ``rank`` dead (idempotent).
+
+        Always records the death in :attr:`dead_ranks`, marks the rank
+        state, tells the reliability layer to fail-fast traffic to the
+        peer, and notifies :meth:`on_rank_death` subscribers.  Then:
+        without ``survive_rank_death`` the world fails (the historical
+        fatal contract); with it the survivors are merely poked so
+        blocked waits re-evaluate.
+        """
+        with self._glock:
+            if rank in self.dead_ranks:
+                return
+            self.dead_ranks.add(rank)
+            subs = list(self._death_subs)
+        if 0 <= rank < self.n_ranks:
+            self.ranks[rank].dead = True
+        rc = getattr(self, "_reliable", None)
+        if rc is not None:
+            try:
+                rc._note_peer_dead(rank, exc)
+            except Exception:
+                pass
+        # Sweep orphaned reply futures: waiters on the dead rank get the
+        # death as their answer, and the dead rank's own waits unwind so
+        # a partitioned primary does not sit out its full op deadline
+        # inside a handler.
+        for r in range(self.n_ranks):
+            try:
+                self.ranks[r].fail_pending(
+                    exc, dst=None if r == rank else rank)
+            except Exception:
+                pass
+        for cb in subs:
+            try:
+                cb(rank, exc)
+            except Exception:
+                pass  # a broken subscriber must not mask the death
+        if self.survive_rank_death:
+            self.poke_all()
+        else:
+            self.fail(rank, exc)
+
+    def live_ranks(self) -> list[int]:
+        """Ranks not declared dead (sorted)."""
+        with self._glock:
+            dead = set(self.dead_ranks)
+        return [r for r in range(self.n_ranks) if r not in dead]
+
     def poke_all(self) -> None:
         """Wake all ranks blocked in wait_until (state changed)."""
         for r in self.ranks:
@@ -530,21 +638,20 @@ class World:
                 return
             now = time.monotonic()
             for rk in self.ranks:
-                if rk.done:
+                if rk.done or rk.rank in self.dead_ranks:
                     continue
                 if rk.dead:
-                    self.fail(rk.rank, RankDead(
+                    self.mark_dead(rk.rank, RankDead(
                         f"rank {rk.rank} died (simulated crash)"
                     ))
-                    return
+                    continue
                 silent = now - rk.last_heartbeat
                 if silent > self.heartbeat_timeout:
-                    self.fail(rk.rank, RankDead(
+                    self.mark_dead(rk.rank, RankDead(
                         f"rank {rk.rank} made no runtime progress for "
                         f"{silent:.2f}s (heartbeat_timeout="
                         f"{self.heartbeat_timeout}s)"
                     ))
-                    return
 
     def _progress_main(self) -> None:
         """Drain inboxes of busy ranks (the paper's worker Pthread)."""
@@ -614,6 +721,7 @@ def spmd(
     heartbeat_timeout: float | None = None,
     heartbeat_period: float = 0.02,
     telemetry=None,
+    survive_rank_death: bool = False,
 ) -> list:
     """Run ``fn`` in SPMD style on ``ranks`` ranks; return per-rank results.
 
@@ -634,6 +742,7 @@ def spmd(
         thread_mode=thread_mode, op_timeout=timeout,
         reliability=reliability, heartbeat_timeout=heartbeat_timeout,
         heartbeat_period=heartbeat_period, telemetry=telemetry,
+        survive_rank_death=survive_rank_death,
     )
     results: list = [None] * ranks
     secondary: list[BaseException | None] = [None] * ranks
@@ -647,9 +756,22 @@ def spmd(
             # implicit barrier at exit): a rank keeps servicing active
             # messages until every peer is done issuing work, so
             # trailing asyncs/RMA addressed to it are never stranded.
-            from repro.core.collectives import barrier as _finalize
+            ctx.body_done = True
+            world.poke_all()
+            if world.survive_rank_death:
+                # A tree barrier would hang on a dead member; in
+                # survivable-death mode the finalize degrades to a
+                # done-or-dead wait over process-shared rank state (the
+                # rank keeps servicing AMs inside wait_until, so the
+                # trailing-traffic guarantee is unchanged).
+                ctx.wait_until(
+                    lambda: all(p.body_done or p.dead for p in world.ranks),
+                    what="finalize (done-or-dead)",
+                )
+            else:
+                from repro.core.collectives import barrier as _finalize
 
-            _finalize()
+                _finalize()
         except _RankKilled:
             pass  # simulated crash: disappear without reporting
         except BaseException as exc:

@@ -27,6 +27,8 @@ this one and prove the stack survives.  Injected events are counted in
 from __future__ import annotations
 
 import threading
+import time
+from collections import deque
 
 import numpy as np
 
@@ -60,8 +62,18 @@ class ChaosConduit(SmpConduit):
         self.am_dup_rate = float(am_dup_rate)
         self.am_reorder_rate = float(am_reorder_rate)
         self.rma_fault_rate = float(rma_fault_rate)
+        self.seed = int(seed)
         self._rng = np.random.default_rng(seed)
         self._chaos_lock = threading.Lock()
+        #: Bounded trace of every injected fault, ``(t_rel, kind, src,
+        #: dst, detail)`` with ``t_rel`` seconds since construction —
+        #: together with :attr:`seed` this is the run's *fault schedule*
+        #: (what was injected, when, to whom), exportable via
+        #: :meth:`fault_schedule` for post-mortem replay/diagnosis.
+        self.fault_log: deque[tuple[float, str, int, int, str]] = (
+            deque(maxlen=4096)
+        )
+        self._t0 = time.monotonic()
         #: One held-back message per (src, dst) pair, delivered *after*
         #: the next message to the pair — a pairwise-FIFO violation.
         self._held: dict[tuple[int, int], ActiveMessage] = {}
@@ -78,12 +90,26 @@ class ChaosConduit(SmpConduit):
                 k: v for k, v in self._held.items()
                 if rank not in k
             }
+        self._log_fault("chaos_kill", rank, rank, "partitioned")
+        self._trace_control("chaos_kill", rank, rank, detail="partitioned")
 
     def is_killed(self, rank: int) -> bool:
         with self._chaos_lock:
             return rank in self._killed
 
     # -- helpers -----------------------------------------------------------
+    def _log_fault(self, kind: str, src: int, dst: int,
+                   detail: str = "") -> None:
+        self.fault_log.append(
+            (time.monotonic() - self._t0, kind, src, dst, detail)
+        )
+
+    def fault_schedule(self) -> dict:
+        """The run's injected-fault trace: ``{"seed", "faults"}`` where
+        ``faults`` is a list of ``(t_rel, kind, src, dst, detail)``
+        records (bounded to the most recent 4096)."""
+        return {"seed": self.seed, "faults": list(self.fault_log)}
+
     def _trace_control(self, kind: str, src: int, dst: int,
                        nbytes: int = 0, detail: str = "") -> None:
         hook = None
@@ -110,6 +136,7 @@ class ChaosConduit(SmpConduit):
                 return None
             when = "pre" if float(self._rng.random()) < 0.5 else "post"
         self._rank(src).stats.record_chaos_fault()
+        self._log_fault("chaos_fault", src, dst, f"{kind}:{when}")
         self._trace_control("chaos_fault", src, dst, detail=f"{kind}:{when}")
         return when
 
@@ -152,14 +179,17 @@ class ChaosConduit(SmpConduit):
                 to_deliver.append(held_prev)  # after its successor: reorder
         if dropped:
             self._rank(src).stats.record_chaos_drop()
+            self._log_fault("chaos_drop", src, dst, am.handler)
             self._trace_control("chaos_drop", src, dst, am.wire_bytes,
                                 detail=am.handler)
         if duplicated:
             self._rank(src).stats.record_chaos_dup()
+            self._log_fault("chaos_dup", src, dst, am.handler)
             self._trace_control("chaos_dup", src, dst, am.wire_bytes,
                                 detail=am.handler)
         if held_now:
             self._rank(src).stats.record_chaos_reorder()
+            self._log_fault("chaos_reorder", src, dst, am.handler)
             self._trace_control("chaos_reorder", src, dst, am.wire_bytes,
                                 detail=am.handler)
         for m in to_deliver:

@@ -24,8 +24,13 @@ Mechanisms
   **exactly once** even when the fault fired after the update landed.
 * **Heartbeat failure detection** — the conduit pings every rank pair;
   a rank silent past ``peer_timeout`` is declared dead via
-  :meth:`~repro.core.world.World.fail`, converting a would-be hang into
-  :class:`~repro.errors.PeerFailure` on every blocked rank.
+  :meth:`~repro.core.world.World.mark_dead`.  By default that fails the
+  world (:class:`~repro.errors.PeerFailure` on every blocked rank); with
+  ``survive_rank_death=True`` the survivors keep running — traffic
+  already in flight to the dead rank fails with
+  :class:`~repro.errors.RankDead` error replies, later sends to it
+  fail fast, and death subscribers (e.g. replicated containers) take
+  over the dead rank's duties.
 
 Retry/dup/timeout counts land in :class:`~repro.gasnet.stats.CommStats`
 (``am_retransmits``/``dup_ams``/``acks_sent``/``rma_retries``/
@@ -215,10 +220,65 @@ class ReliableConduit(Conduit):
                 f"rank {dst} declared dead before {what}"
             ))
 
+    def _note_peer_dead(self, rank: int, exc: BaseException) -> None:
+        """Record ``rank`` as dead and fail every in-flight AM addressed
+        to it: retransmitting into a black hole would only stall the
+        initiator until its op deadline, so pending token-carrying AMs
+        get an immediate RankDead error reply instead."""
+        if rank in self._dead_peers:
+            return
+        self._dead_peers.add(rank)
+        self._trace_control("peer_dead", rank, rank, detail=str(exc))
+        world = self.world
+        with self._tx_lock:
+            doomed = [e for k, e in self._unacked.items() if e.dst == rank]
+            for e in doomed:
+                self._unacked.pop((e.src, e.dst, e.seq), None)
+        for e in doomed:
+            self._fail_pending(world, e, exc)
+
+    def _fail_pending(self, world, e: _PendingAm,
+                      exc: BaseException) -> None:
+        world.ranks[e.src].stats.record_dead_peer_fastfail()
+        self._trace_control(
+            "dead_peer_fastfail", e.src, e.dst,
+            detail=f"{e.inner.handler} seq={e.seq}",
+        )
+        if e.inner.token is not None and not e.inner.is_reply:
+            err = ActiveMessage(
+                handler="__reply__", src_rank=e.dst,
+                args=("__error__", RankDead(
+                    f"reliable conduit: AM {e.inner.handler!r} "
+                    f"{e.src}->{e.dst} abandoned: rank {e.dst} is dead "
+                    f"({exc})"
+                )),
+                token=e.inner.token, is_reply=True,
+            )
+            world.ranks[e.src].deliver(err)
+
     # -- active messages: sequencing + acks --------------------------------
     def send_am(self, src: int, dst: int, am: ActiveMessage) -> None:
         if src == dst:  # loopback is reliable; skip the protocol
             self._inner.send_am(src, dst, am)
+            return
+        if dst in self._dead_peers:
+            # Fail fast instead of queueing for a peer that can never
+            # ack: token AMs get an immediate RankDead error reply,
+            # fire-and-forget AMs are dropped.
+            if self.world is not None:
+                self.world.ranks[src].stats.record_dead_peer_fastfail()
+            self._trace_control("dead_peer_fastfail", src, dst,
+                                detail=am.handler)
+            if am.token is not None and not am.is_reply:
+                err = ActiveMessage(
+                    handler="__reply__", src_rank=dst,
+                    args=("__error__", RankDead(
+                        f"reliable conduit: refusing AM {am.handler!r} "
+                        f"{src}->{dst}: rank {dst} is dead"
+                    )),
+                    token=am.token, is_reply=True,
+                )
+                self.world.ranks[src].deliver(err)
             return
         now = time.monotonic()
         with self._tx_lock:
@@ -345,7 +405,7 @@ class ReliableConduit(Conduit):
             if world.ranks[i].done or world.ranks[i].dead:
                 continue
             for j in range(world.n_ranks):
-                if i == j:
+                if i == j or j in self._dead_peers:
                     continue
                 world.ranks[i].stats.record_heartbeat()
                 try:
@@ -367,10 +427,11 @@ class ReliableConduit(Conduit):
                 continue
             silent = now - self._last_heard.get(r, now)
             if silent > timeout:
-                self._dead_peers.add(r)
-                self._trace_control("peer_dead", r, r,
-                                    detail=f"silent {silent:.2f}s")
-                world.fail(r, RankDead(
+                # mark_dead routes back through _note_peer_dead (adds r
+                # to _dead_peers, fails in-flight AMs), notifies death
+                # subscribers, and — unless the world opted into
+                # survivable death — fails the whole world.
+                world.mark_dead(r, RankDead(
                     f"reliable conduit: rank {r} missed its heartbeat "
                     f"deadline ({silent:.2f}s silent > "
                     f"peer_timeout={timeout}s)"

@@ -65,6 +65,16 @@ class CommStats:
     kv_batched_keys: int = 0
     kv_cache_hits: int = 0
     kv_cache_misses: int = 0
+    # Replication / failover (repro.containers.hashmap + reliability):
+    # backup-log records shipped, client-side failovers, owner-side
+    # backup promotions, reads served from a replica, live shard
+    # migrations, and sends refused because the peer is already dead.
+    kv_repl_records: int = 0
+    kv_failovers: int = 0
+    kv_promotions: int = 0
+    kv_replica_reads: int = 0
+    kv_migrations: int = 0
+    dead_peer_fastfails: int = 0
     # Wire layer (repro.gasnet.wire): frames encoded, how many stayed on
     # the fixed-layout/struct fast path vs. fell back to pickle, and how
     # many carried by-reference (unserializable) objects.
@@ -220,6 +230,31 @@ class CommStats:
             else:
                 self.kv_cache_misses += 1
 
+    # -- replication / failover -------------------------------------------
+    def record_kv_repl(self, nrecords: int = 1) -> None:
+        with self._lock:
+            self.kv_repl_records += nrecords
+
+    def record_kv_failover(self) -> None:
+        with self._lock:
+            self.kv_failovers += 1
+
+    def record_kv_promotion(self) -> None:
+        with self._lock:
+            self.kv_promotions += 1
+
+    def record_kv_replica_read(self) -> None:
+        with self._lock:
+            self.kv_replica_reads += 1
+
+    def record_kv_migration(self) -> None:
+        with self._lock:
+            self.kv_migrations += 1
+
+    def record_dead_peer_fastfail(self) -> None:
+        with self._lock:
+            self.dead_peer_fastfails += 1
+
     # -- wire layer --------------------------------------------------------
     def record_wire(self, used_pickle: bool, by_ref: bool) -> None:
         """One encoded frame; ``used_pickle`` when any part of it fell
@@ -326,6 +361,12 @@ class CommStats:
                 "kv_batched_keys": self.kv_batched_keys,
                 "kv_cache_hits": self.kv_cache_hits,
                 "kv_cache_misses": self.kv_cache_misses,
+                "kv_repl_records": self.kv_repl_records,
+                "kv_failovers": self.kv_failovers,
+                "kv_promotions": self.kv_promotions,
+                "kv_replica_reads": self.kv_replica_reads,
+                "kv_migrations": self.kv_migrations,
+                "dead_peer_fastfails": self.dead_peer_fastfails,
                 "wire_frames": self.wire_frames,
                 "wire_fixed": self.wire_fixed,
                 "pickle_fallbacks": self.pickle_fallbacks,
@@ -352,6 +393,9 @@ class CommStats:
             self.kv_deletes = self.kv_updates = 0
             self.kv_multi_ops = self.kv_batched_keys = 0
             self.kv_cache_hits = self.kv_cache_misses = 0
+            self.kv_repl_records = self.kv_failovers = 0
+            self.kv_promotions = self.kv_replica_reads = 0
+            self.kv_migrations = self.dead_peer_fastfails = 0
             self.wire_frames = self.wire_fixed = 0
             self.pickle_fallbacks = self.wire_byref = 0
 
