@@ -299,11 +299,15 @@ def export_metrics(path: str, ranks: int = 4, log2_table_size: int = 10,
     latency-histogram snapshots.  CI uploads the file as an artifact and
     asserts the telemetry-off overhead bound from it.
     """
+    import functools
     import json
 
     import repro
     from repro.bench import gups
     from repro.gasnet.stats import aggregate
+    from repro.telemetry import (
+        finalize_snapshot, merge_snapshots, rank_snapshot,
+    )
 
     out: dict = {
         "benchmark": "gups",
@@ -325,10 +329,11 @@ def export_metrics(path: str, ranks: int = 4, log2_table_size: int = 10,
     for mode in ("off", "flight", "full"):
         best = None
         world = None
+        best_holder: dict = {}
         for _ in range(reps):
             holder: dict = {}
 
-            def body(holder=holder):
+            def body(holder=holder, mode=mode):
                 r = gups.random_access(
                     log2_table_size=log2_table_size,
                     updates_per_rank=updates_per_rank,
@@ -338,12 +343,26 @@ def export_metrics(path: str, ranks: int = 4, log2_table_size: int = 10,
                     # Threads share the process: the world object (and
                     # its stats/telemetry) outlives the spmd region.
                     holder["world"] = repro.current_world()
+                if mode == "full":
+                    # Exercise the cluster metrics plane: every rank
+                    # freezes its raw snapshot, then the tree allreduce
+                    # folds them; the result must equal the offline fold
+                    # of the frozen snapshots, bit for bit.
+                    from repro.core.world import current as _cur
+
+                    snap = rank_snapshot(_cur())
+                    holder.setdefault("snaps", {})[repro.myrank()] = snap
+                    merged = repro.current_world().metrics_reduce(
+                        snapshot=snap)
+                    if repro.myrank() == 0:
+                        holder["cluster"] = merged
                 return r
 
             res = repro.spmd(body, ranks=ranks, telemetry=mode)[0]
             if best is None or res.seconds < best.seconds:
                 best = res
                 world = holder["world"]
+                best_holder = holder
         entry = {
             "seconds": best.seconds,
             "gups": best.gups,
@@ -354,6 +373,13 @@ def export_metrics(path: str, ranks: int = 4, log2_table_size: int = 10,
         }
         if mode == "full":
             entry["telemetry"] = world.telemetry.metrics()
+            snaps = best_holder["snaps"]
+            offline = finalize_snapshot(functools.reduce(
+                merge_snapshots, (snaps[r] for r in sorted(snaps))))
+            entry["cluster"] = {
+                "merged": best_holder["cluster"],
+                "metrics_reduce_ok": best_holder["cluster"] == offline,
+            }
         out["modes"][mode] = entry
     base = out["modes"]["off"]["seconds"]
     for mode in ("off", "flight", "full"):
@@ -379,6 +405,11 @@ def export_metrics(path: str, ranks: int = 4, log2_table_size: int = 10,
               f"overhead x{e['overhead_vs_off']:.3f}  "
               f"per-op {out['per_op_us'][mode]:.1f} us "
               f"(x{out['per_op_us'][mode + '_overhead']:.3f})")
+    cluster = out["modes"]["full"]["cluster"]
+    n_hists = len(cluster["merged"]["histograms"])
+    print(f"  metrics_reduce: {n_hists} cluster histograms over ranks "
+          f"{cluster['merged']['ranks']}, bit-identical to offline "
+          f"fold: {cluster['metrics_reduce_ok']}")
     return out
 
 
@@ -567,6 +598,170 @@ def export_failover(path: str, ranks: int = 4) -> dict:
     return out
 
 
+def export_tracing(path: str, ranks: int = 4, keys: int = 512,
+                   ops_per_rank: int = 300, seed: int = 13) -> dict:
+    """Traced zipf KV run under chaos -> ``BENCH_8.json`` + flow trace.
+
+    Every rank runs a zipf-skewed get/put mix against a replicated
+    :class:`~repro.containers.DistHashMap` over
+    ``ReliableConduit(ChaosConduit)`` with full telemetry: client ops
+    open root spans, the trace context rides every AM's wire trailer,
+    and handler/replication/retransmit work joins the originating
+    trace.  Writes trace/flow counts plus a per-op tracing-overhead
+    microbench, and a Perfetto export (``<path>.perfetto.json`` next to
+    the JSON) whose kv traces render as flow arrows across rank tracks.
+    CI uploads both and asserts at least one cross-rank kv flow and the
+    tracing overhead bound.
+    """
+    import json
+    import os
+    import time as _time
+
+    import numpy as np
+
+    import repro
+    from repro.gasnet.chaos import ChaosConduit
+    from repro.telemetry import to_perfetto, write_perfetto
+
+    def run_workload(telemetry):
+        conduit = ChaosConduit(seed=seed, am_drop_rate=0.03,
+                               am_dup_rate=0.01, am_reorder_rate=0.02)
+        holder: dict = {}
+
+        def body():
+            me, n = repro.myrank(), repro.ranks()
+            if me == 0:
+                holder["world"] = repro.current_world()
+            rng = np.random.default_rng((seed << 8) ^ me)
+            m = repro.DistHashMap(replicas=1)
+            keyspace = [f"tr:{i:05d}" for i in range(keys)]
+            m.multi_put({k: 0 for i, k in enumerate(keyspace)
+                         if i % n == me})
+            repro.barrier()
+            t0 = _time.perf_counter()
+            for _ in range(ops_per_rank):
+                i = int(rng.zipf(1.5) - 1) % keys
+                if rng.random() < 0.5:
+                    m.get(keyspace[i])
+                else:
+                    m.put(keyspace[i], int(rng.integers(1 << 30)))
+            secs = _time.perf_counter() - t0
+            repro.barrier()
+            return secs
+
+        secs = repro.spmd(
+            body, ranks=ranks, conduit=conduit,
+            reliability={"seed": seed, "peer_timeout": 2.0,
+                         "heartbeat_period": 0.05},
+            telemetry=telemetry, timeout=180.0,
+        )
+        return max(secs), holder["world"], conduit
+
+    off_s, _w, _c = run_workload(None)
+    full_s, world, conduit = run_workload("full")
+
+    spans = world.telemetry.all_spans()
+    by_trace: dict[int, list] = {}
+    for s in spans:
+        if s.trace_id:
+            by_trace.setdefault(s.trace_id, []).append(s)
+    cross = {t for t, ss in by_trace.items()
+             if len({s.rank for s in ss}) >= 2}
+    retrans_traces = {s.trace_id for s in spans
+                      if s.name.startswith("retransmit:") and s.trace_id}
+
+    data = to_perfetto(telemetry=world.telemetry)
+    flow_pids: dict[int, set] = {}
+    flow_names: dict[int, str] = {}
+    for e in data["traceEvents"]:
+        if e["ph"] in ("s", "t", "f"):
+            flow_pids.setdefault(e["id"], set()).add(e["pid"])
+            flow_names[e["id"]] = e["name"]
+    cross_flows = [fid for fid, pids in flow_pids.items()
+                   if len(pids) >= 2]
+    kv_cross_flows = [fid for fid in cross_flows
+                      if flow_names[fid].startswith("kv_")]
+
+    trace_path = os.path.splitext(path)[0] + ".perfetto.json"
+    write_perfetto(trace_path, telemetry=world.telemetry)
+
+    out = {
+        "benchmark": "kv_tracing",
+        "config": {"ranks": ranks, "keys": keys,
+                   "ops_per_rank": ops_per_rank, "seed": seed,
+                   "am_drop_rate": 0.03, "replicas": 1},
+        "seconds": {"off": off_s, "full": full_s},
+        "trace_overhead": full_s / off_s if off_s > 0 else 0.0,
+        "per_op_us": _per_op_traced_microbench(),
+        "traces": len(by_trace),
+        "cross_rank_traces": len(cross),
+        "retransmit_traces": len(retrans_traces),
+        "retransmit_traces_cross_rank": len(retrans_traces & cross),
+        "flows": {"total": len(flow_pids),
+                  "cross_rank": len(cross_flows),
+                  "kv_cross_rank": len(kv_cross_flows)},
+        "chaos_faults": len(conduit.fault_log),
+        "trace_file": trace_path,
+    }
+    out["per_op_us"]["traced_overhead"] = (
+        out["per_op_us"]["full"] / out["per_op_us"]["off"]
+        if out["per_op_us"]["off"] > 0 else 0.0
+    )
+    with open(path, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {path} (+ {trace_path})")
+    print(f"  {out['traces']} traces, {out['cross_rank_traces']} "
+          f"cross-rank, {out['retransmit_traces']} with retransmits "
+          f"({out['retransmit_traces_cross_rank']} cross-rank)")
+    print(f"  flows: {out['flows']['total']} total, "
+          f"{out['flows']['cross_rank']} cross-rank, "
+          f"{out['flows']['kv_cross_rank']} kv cross-rank")
+    print(f"  wall overhead x{out['trace_overhead']:.3f} "
+          f"(chaos workload)  per-op traced "
+          f"{out['per_op_us']['full']:.1f} us "
+          f"(x{out['per_op_us']['traced_overhead']:.3f} vs off)")
+    return out
+
+
+def _per_op_traced_microbench(iters: int = 150, reps: int = 3) -> dict:
+    """Per-op cost (µs) of a *traced* remote kv put vs telemetry off.
+
+    A clean SMP conduit (no chaos, no reliability) so the delta is
+    exactly the tracing plane: root span, id minting, 16-byte wire
+    trailer, handler rebinding, span recording.
+    """
+    import time as _time
+
+    import repro
+
+    def body():
+        me = repro.myrank()
+        m = repro.DistHashMap()
+        repro.barrier()
+        per_op = None
+        if me == 0:
+            remote = [k for k in (f"po:{i}" for i in range(64))
+                      if m.shard_of_key(k) == 1][:8]
+            for k in remote:
+                m.put(k, 0)  # warm the shard
+            t0 = _time.perf_counter()
+            for i in range(iters):
+                m.put(remote[i % len(remote)], i)
+            per_op = (_time.perf_counter() - t0) / iters * 1e6
+        repro.barrier()
+        return per_op
+
+    out = {}
+    for mode in ("off", "full"):
+        out[mode] = min(
+            repro.spmd(body, ranks=2,
+                       telemetry=None if mode == "off" else mode)[0]
+            for _ in range(reps)
+        )
+    return out
+
+
 def export_perfetto(path: str, ranks: int = 4,
                     keys_per_rank: int = 2048) -> None:
     """4-rank sample sort -> Chrome/Perfetto ``trace_event`` JSON.
@@ -661,11 +856,16 @@ def main(argv=None) -> int:
                              "loss, failover percentiles, write "
                              "amplification and the fault schedule as "
                              "JSON")
+    parser.add_argument("--tracing", metavar="PATH",
+                        help="run the traced zipf KV workload under "
+                             "chaos, write trace/flow counts and the "
+                             "tracing-overhead microbench as JSON plus "
+                             "a Perfetto flow trace alongside")
     args = parser.parse_args(argv)
     global _CHARTS
     _CHARTS = args.charts
     if (args.metrics or args.perfetto or args.kv or args.collectives
-            or args.serde or args.failover):
+            or args.serde or args.failover or args.tracing):
         if args.metrics:
             export_metrics(args.metrics,
                            ranks=args.validate_ranks or 4)
@@ -682,6 +882,9 @@ def main(argv=None) -> int:
         if args.failover:
             export_failover(args.failover,
                             ranks=args.validate_ranks or 4)
+        if args.tracing:
+            export_tracing(args.tracing,
+                           ranks=args.validate_ranks or 4)
         if not (args.artifacts or args.calibrate or args.validate_ranks):
             return 0
     wanted = args.artifacts or list(ARTIFACTS)

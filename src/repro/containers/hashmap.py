@@ -61,6 +61,7 @@ every *acknowledged* write survives one rank death.
 
 from __future__ import annotations
 
+import functools
 import itertools
 import pickle
 import time
@@ -71,7 +72,8 @@ from typing import Any, Callable, Iterable, Mapping
 from repro.core import collectives
 from repro.core.collectives import _copy_value as _copy
 from repro.core.directory import Directory
-from repro.core.world import RankState, current
+from repro.core.world import RankState, current, try_current
+from repro.telemetry import tracing
 from repro.errors import CommTimeout, PeerFailure, PgasError, RankDead
 from repro.gasnet.am import am_handler
 from repro.gasnet.wire import preencode, tagged
@@ -136,6 +138,30 @@ def _resolve_update(op) -> Callable:
             f"unknown update op {op!r}; pass a callable or one of "
             f"{sorted(UPDATE_OPS)}"
         ) from None
+
+
+def _traced(name: str) -> Callable:
+    """Open a causal trace root span around a client kv op.
+
+    Every AM the op sends (the request, a replication hop, retries
+    after failover) inherits this span's trace id via the wire-frame
+    trailer, so the whole chain — including handler spans on other
+    ranks and kv_failover/kv_promote flight events — is one trace.
+    No-op (one extra call) when telemetry is inactive.
+    """
+
+    def deco(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            ctx = try_current()
+            if ctx is None or not ctx.telemetry.active:
+                return fn(self, *args, **kwargs)
+            with tracing.span(ctx.telemetry, name):
+                return fn(self, *args, **kwargs)
+
+        return wrapper
+
+    return deco
 
 
 # ---------------------------------------------------------------------------
@@ -982,6 +1008,7 @@ class DistHashMap:
         return None
 
     # -- point ops ---------------------------------------------------------
+    @_traced("kv_put")
     def put(self, key: Any, value: Any) -> None:
         """Store ``key -> value`` at its shard's primary (last writer
         wins); with ``replicas=1`` the write is also logged to the
@@ -1023,6 +1050,7 @@ class DistHashMap:
         if tel.full:
             tel.record_latency("kv_put", time.perf_counter() - t0)
 
+    @_traced("kv_get")
     def get(self, key: Any, default: Any = _MISSING) -> Any:
         """Fetch ``key`` (cache first); KeyError unless ``default``."""
         ctx = current()
@@ -1092,6 +1120,7 @@ class DistHashMap:
             return default
         raise KeyError(key)
 
+    @_traced("kv_del")
     def delete(self, key: Any) -> bool:
         """Remove ``key``; returns whether it was present."""
         ctx = current()
@@ -1126,6 +1155,7 @@ class DistHashMap:
         (n,) = self._note_reply(args)
         return n > 0
 
+    @_traced("kv_update")
     def update(self, key: Any, op, *args, default: Any = _MISSING) -> Any:
         """Atomic read-modify-write at the primary; returns the new
         value.
@@ -1220,6 +1250,7 @@ class DistHashMap:
             t_fail = self._failover(ctx, sid, target, op, t_fail)
         return t_fail
 
+    @_traced("kv_multi_get")
     def multi_get(self, keys: Iterable[Any],
                   default: Any = _MISSING) -> list:
         """Fetch many keys with **one AM per serving rank**, issued
@@ -1350,6 +1381,7 @@ class DistHashMap:
             raise KeyError(missing[0])
         return out
 
+    @_traced("kv_multi_put")
     def multi_put(self, items) -> None:
         """Store many pairs with one AM per serving rank (concurrent).
 

@@ -31,6 +31,7 @@ from repro.core.workqueue import DistWorkQueue, _table
 from repro.core.world import RankState, current
 from repro.errors import PeerFailure, RankDead
 from repro.gasnet.am import am_handler
+from repro.telemetry import tracing
 
 
 @am_handler("dq_push")
@@ -77,6 +78,10 @@ class DistQueue:
             return 0
         if to is None or to == ctx.rank:
             return self._wq.add_local(items)
+        with tracing.span(ctx.telemetry, "dq_push"):
+            return self._put_remote(ctx, items, to)
+
+    def _put_remote(self, ctx, items: list, to: int) -> int:
         fut = ctx.send_am(
             to, "dq_push", args=(self.qid,),
             payload=items, expect_reply=True,

@@ -52,6 +52,7 @@ import numpy as np
 from repro.errors import PgasError
 from repro.gasnet.am import am_handler
 from repro.gasnet.wire import preencode
+from repro.telemetry import tracing
 
 #: AM handler name for all collective traffic.
 COLL_AM = "coll"
@@ -551,7 +552,12 @@ class CollEngine:
                         )
                     )
             self.states[key] = st
-            st.start()
+            # Trace the fan-out: AMs the state machine sends from
+            # start() carry this span (or the caller's, when the
+            # collective runs inside an already-traced client op), so
+            # tree hops on other ranks join one causal trace.
+            with tracing.span(tel, f"coll:{st.kind}"):
+                st.start()
             for kind, tag, src_index, payload in self.pending.pop(key, ()):
                 self._dispatch(st, key, kind, tag, src_index, payload)
             return st.future

@@ -123,6 +123,8 @@ class DistWorkQueue:
             return False
         victim = candidates[int(self._rng.integers(0, len(candidates)))]
         self.steals_attempted += 1
+        if tel.active:
+            tel.metrics.counter("wq_steals_attempted").inc()
         t0 = time.perf_counter()
         fut = ctx.send_am(victim, "wq_steal", args=(self.qid,),
                           expect_reply=True)
@@ -139,6 +141,9 @@ class DistWorkQueue:
             return False
         _table(ctx)[self.qid].extend(loot)
         self.steals_successful += 1
+        if tel.active:
+            # the metrics sampler derives steal_rate_per_s from this
+            tel.metrics.counter("wq_steals_ok").inc()
         tel.flight_event("wq_steal", src=ctx.rank, dst=victim,
                          detail=f"{len(loot)} items")
         return True

@@ -40,9 +40,11 @@ from repro.gasnet.segment import Segment
 from repro.gasnet.smp import SmpConduit
 from repro.gasnet.stats import CommStats
 from repro.telemetry import (
+    MetricsSampler,
     TelemetryConduit,
     WorldTelemetry,
     resolve_config as _resolve_telemetry,
+    tracing,
 )
 
 _tls = threading.local()
@@ -103,6 +105,9 @@ class RankState:
         self._pending_lock = threading.Lock()
         self._pending: dict[int, Any] = {}  # token -> Future
         self._pending_dst: dict[int, int] = {}  # token -> dst rank
+        # token -> (t0 monotonic, handler, dst, trace_id); only fed when
+        # telemetry is active — the straggler watchdog's work list.
+        self._pending_meta: dict[int, tuple] = {}
         self._token_counter = itertools.count(1)
         # The handler lock serializes AM-handler/task execution between the
         # rank's own advance() and the shared progress thread (paper's
@@ -157,12 +162,21 @@ class RankState:
 
         fut = None
         token = None
+        trace_id = span_id = 0
+        if self.telemetry.active:
+            # Stamp the thread's bound trace context into the message:
+            # the pair rides the wire frame as a trailer and re-binds in
+            # the target's handler dispatch (causal propagation).
+            trace_id, span_id = tracing.current_ids()
         if expect_reply:
             token = self.new_token()
             fut = Future(self)
             with self._pending_lock:
                 self._pending[token] = fut
                 self._pending_dst[token] = dst
+            if self.telemetry.active:
+                self._pending_meta[token] = (
+                    time.monotonic(), handler, dst, trace_id)
             if self.telemetry.full:
                 # AM round-trip latency: request send -> reply handled.
                 tel, t0 = self.telemetry, time.perf_counter()
@@ -172,6 +186,7 @@ class RankState:
         am = ActiveMessage(
             handler=handler, src_rank=self.rank, args=args,
             payload=payload, token=token,
+            trace_id=trace_id, span_id=span_id,
         )
         self.world.conduit.send_am(self.rank, dst, am)
         return fut
@@ -192,6 +207,7 @@ class RankState:
             futs = []
             for t in doomed:
                 self._pending_dst.pop(t, None)
+                self._pending_meta.pop(t, None)
                 f = self._pending.pop(t, None)
                 if f is not None:
                     futs.append(f)
@@ -210,9 +226,13 @@ class RankState:
         """Reply to a previously stored (rank, token) pair — used by
         owner-queued structures such as global locks."""
         self.stats.record_reply()
+        trace_id = span_id = 0
+        if self.telemetry.active:
+            trace_id, span_id = tracing.current_ids()
         am = ActiveMessage(
             handler="__reply__", src_rank=self.rank, args=args,
             payload=payload, token=token, is_reply=True,
+            trace_id=trace_id, span_id=span_id,
         )
         self.world.conduit.send_am(self.rank, dst, am)
 
@@ -273,13 +293,14 @@ class RankState:
         ):  # protocol chatter would drown out the useful history
             self.telemetry.flight_event(
                 "am_handled", src=am.src_rank, dst=self.rank,
-                detail=am.handler,
+                detail=am.handler, trace_id=am.trace_id,
             )
         with self._handler_lock:
             if am.is_reply:
                 with self._pending_lock:
                     fut = self._pending.pop(am.token, None)
                     self._pending_dst.pop(am.token, None)
+                    self._pending_meta.pop(am.token, None)
                 if fut is None:
                     # Under the reliability layer a reply can legally
                     # arrive after the op's deadline already completed
@@ -298,16 +319,43 @@ class RankState:
             handler = handler_registry.get(am.handler)
             if handler is None:
                 raise PgasError(f"unknown AM handler {am.handler!r}")
+            tel = self.telemetry
+            if am.trace_id and tel.active:
+                # Restore the sender's trace context for the handler's
+                # duration: spans recorded and AMs sent inside it
+                # (replies, replication hops) join the originating
+                # client op's trace.
+                span_id = tel.new_span_id()
+                t0 = time.perf_counter() if tel.full else 0.0
+                with tracing.bound(am.trace_id, span_id):
+                    try:
+                        handler(self, am)
+                    except BaseException as exc:
+                        self._handler_error(am, exc)
+                    finally:
+                        if tel.full:
+                            tel.record_span(
+                                f"am:{am.handler}", t0,
+                                time.perf_counter() - t0,
+                                detail=f"from rank {am.src_rank}",
+                                trace_id=am.trace_id, span_id=span_id,
+                                parent_id=am.span_id)
+                return
             try:
                 handler(self, am)
             except BaseException as exc:  # surface handler errors
-                if am.token is not None:
-                    self.stats.record_reply()
-                    err = make_reply(am, self.rank, args=("__error__", exc))
-                    self.world.conduit.send_am(self.rank, am.src_rank, err)
-                else:
-                    self.world.fail(self.rank, exc)
-                    raise
+                self._handler_error(am, exc)
+
+    def _handler_error(self, am: ActiveMessage, exc: BaseException) -> None:
+        """Surface a handler exception: error reply when the sender
+        waits for one, world failure otherwise."""
+        if am.token is not None:
+            self.stats.record_reply()
+            err = make_reply(am, self.rank, args=("__error__", exc))
+            self.world.conduit.send_am(self.rank, am.src_rank, err)
+        else:
+            self.world.fail(self.rank, exc)
+            raise exc
 
     def _run_task(self, task: _Task) -> None:
         """Execute one queued async task and reply with its result."""
@@ -514,16 +562,56 @@ class World:
                 name=f"pgas-detector-{self.id}", daemon=True,
             )
             self._detector_thread.start()
+        # Background metrics sampler + straggler watchdog (see
+        # repro.telemetry.metrics); only started when the telemetry
+        # config asks for either.
+        self._sampler: MetricsSampler | None = None
+        cfg = self.telemetry.config
+        if self.telemetry.enabled and (cfg.sample_period
+                                       or cfg.watchdog_period):
+            self._sampler = MetricsSampler(
+                self, cfg.sample_period, cfg.watchdog_period,
+                cfg.slow_op_factor, cfg.slow_op_min_s)
+            self._sampler.start()
 
     # -- observability -------------------------------------------------------
     def dump_flight_recorder(self, header: str = "", file=None) -> str:
         """Merge every rank's flight-recorder ring into one time-ordered
         human-readable dump; write it to ``file`` when given (pass
-        ``sys.stderr`` for the classic crash dump) and return it."""
-        text = self.telemetry.dump_flight_recorder(header=header)
+        ``sys.stderr`` for the classic crash dump) and return it.
+
+        When the conduit stack contains a chaos conduit, its injected
+        faults (``chaos_drop``/``chaos_dup``/``chaos_kill``/...) are
+        spliced into the merged timeline as instants, so the dump shows
+        fault injection and runtime reaction side by side.
+        """
+        extra = None
+        fault_events = getattr(self.conduit, "fault_events", None)
+        if callable(fault_events):
+            try:
+                extra = fault_events()
+            except Exception:
+                extra = None
+        text = self.telemetry.dump_flight_recorder(header=header,
+                                                   extra_events=extra)
         if file is not None:
             file.write(text)
         return text
+
+    def stop_sampler(self) -> None:
+        if self._sampler is not None:
+            self._sampler.stop()
+            self._sampler.join(timeout=5.0)
+            self._sampler = None
+
+    def metrics_reduce(self, team=None, snapshot: dict | None = None) -> dict:
+        """Collective cluster-wide metrics aggregation: every rank's
+        histogram/counter/gauge snapshot folded over the tree
+        collectives engine.  Must be called from rank context by all
+        members of ``team``; see :func:`repro.telemetry.metrics_reduce`."""
+        from repro.telemetry import metrics as _metrics
+
+        return _metrics.metrics_reduce(team=team, snapshot=snapshot)
 
     # -- failure propagation ------------------------------------------------
     @property
@@ -815,6 +903,7 @@ def spmd(
     finally:
         world.stop_progress_thread()
         world.stop_failure_detector()
+        world.stop_sampler()
         close = getattr(world.conduit, "close", None)
         if callable(close):
             close()

@@ -72,6 +72,11 @@ class ActiveMessage:
         One fixed-width header word for transport-layer bookkeeping —
         the reliability conduit's sequence/ack numbers ride here instead
         of in the args tuple, keeping control traffic pickle-free.
+    trace_id / span_id:
+        Causal trace context (repro.telemetry.tracing).  When non-zero
+        the pair rides the wire frame as a 16-byte trailer so handler
+        work on the target rank is linked to the originating client op;
+        zero means untraced and costs no wire bytes.
     """
 
     handler: str
@@ -81,6 +86,8 @@ class ActiveMessage:
     token: Optional[int] = None
     is_reply: bool = False
     aux: int = 0
+    trace_id: int = 0
+    span_id: int = 0
     # Filled in at encode time: the message's wire frame and its exact
     # encoded size (header + control stream + out-of-band buffers).
     _wire_bytes: int = field(default=-1, repr=False)
@@ -129,4 +136,6 @@ def make_reply(request: ActiveMessage, src_rank: int,
         payload=payload,
         token=request.token,
         is_reply=True,
+        trace_id=request.trace_id,
+        span_id=request.span_id,
     )

@@ -74,6 +74,10 @@ class ChaosConduit(SmpConduit):
             deque(maxlen=4096)
         )
         self._t0 = time.monotonic()
+        # perf_counter epoch taken at the same instant as _t0, so the
+        # monotonic-relative fault log can be rebased onto the flight
+        # recorder's perf_counter timeline (see fault_events()).
+        self._t0_perf = time.perf_counter()
         #: One held-back message per (src, dst) pair, delivered *after*
         #: the next message to the pair — a pairwise-FIFO violation.
         self._held: dict[tuple[int, int], ActiveMessage] = {}
@@ -109,6 +113,20 @@ class ChaosConduit(SmpConduit):
         ``faults`` is a list of ``(t_rel, kind, src, dst, detail)``
         records (bounded to the most recent 4096)."""
         return {"seed": self.seed, "faults": list(self.fault_log)}
+
+    def fault_events(self) -> list:
+        """The fault schedule as flight-recorder events (``chaos_*``
+        instants on the perf_counter timeline), ready to splice into a
+        merged flight dump — injected faults then appear inline between
+        the runtime events they caused."""
+        from repro.telemetry.flight import FlightEvent
+
+        return [
+            FlightEvent(t=self._t0_perf + t_rel,
+                        rank=src if src >= 0 else dst,
+                        kind=kind, src=src, dst=dst, detail=detail)
+            for (t_rel, kind, src, dst, detail) in self.fault_log
+        ]
 
     def _trace_control(self, kind: str, src: int, dst: int,
                        nbytes: int = 0, detail: str = "") -> None:

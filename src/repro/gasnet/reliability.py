@@ -375,6 +375,25 @@ class ReliableConduit(Conduit):
                 "retransmit", e.src, e.dst, e.env.wire_bytes,
                 detail=f"{e.inner.handler} seq={e.seq} try={e.attempts}",
             )
+            inner = e.inner
+            if inner.trace_id:
+                # Link the retransmit into the originating op's causal
+                # trace: a tiny span joins the Perfetto flow chain, and
+                # the flight event carries the trace id.
+                tel = world.telemetry.rank(e.src)
+                tel.flight_event(
+                    "retransmit_traced", src=e.src, dst=e.dst,
+                    nbytes=e.env.wire_bytes,
+                    detail=f"{inner.handler} seq={e.seq} try={e.attempts}",
+                    trace_id=inner.trace_id)
+                if tel.full:
+                    tel.record_span(
+                        f"retransmit:{inner.handler}",
+                        time.perf_counter(), 2e-6,
+                        detail=f"seq={e.seq} try={e.attempts}",
+                        trace_id=inner.trace_id,
+                        span_id=tel.new_span_id(),
+                        parent_id=inner.span_id)
             try:
                 self._inner.send_am(e.src, e.dst, e.env)
             except TransientCommError:

@@ -40,6 +40,14 @@ F_IS_REPLY = 1
 F_HAS_TOKEN = 2
 F_USED_PICKLE = 4
 F_HAS_REFS = 8
+F_HAS_TRACE = 16
+
+# Trace-context trailer: (trace_id, span_id), appended after the meta
+# region only when the AM carries a non-zero trace id.  Untraced
+# messages (telemetry off) pay zero wire bytes for it, and the header
+# layout is unchanged — receivers locate the trailer at
+# ``HEADER.size + args_len + meta_len`` when ``F_HAS_TRACE`` is set.
+TRACE_TRAILER = struct.Struct("<QQ")
 
 CODEC_NONE = 0
 CODEC_OBJ = 1
@@ -160,11 +168,16 @@ class Frame:
                     payload = _c.codec_by_code(codec_id).decode(dec)
         finally:
             mv.release()
+        trace_id = span_id = 0
+        if flags & F_HAS_TRACE:
+            trace_id, span_id = TRACE_TRAILER.unpack_from(
+                ctrl, HEADER.size + args_len + meta_len)
         am = ActiveMessage(
             handler=handler_name(hid), src_rank=src, args=args,
             payload=payload,
             token=tok if flags & F_HAS_TOKEN else None,
-            is_reply=bool(flags & F_IS_REPLY), aux=aux)
+            is_reply=bool(flags & F_IS_REPLY), aux=aux,
+            trace_id=trace_id, span_id=span_id)
         am._wire_bytes = self.nbytes
         self._decoded = am
         if self.pooled:
@@ -254,6 +267,11 @@ def encode_am(am: ActiveMessage, tel=None) -> Frame:
                 enc.encode(payload)
     meta_len = len(out) - HEADER.size - args_len
     flags = 0
+    if am.trace_id:
+        # trailer sits after the meta region; args_len/meta_len are
+        # unaffected so untraced decode paths never see it
+        flags |= F_HAS_TRACE
+        out += TRACE_TRAILER.pack(am.trace_id, am.span_id)
     if am.is_reply:
         flags |= F_IS_REPLY
     tok = am.token

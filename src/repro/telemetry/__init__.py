@@ -25,9 +25,20 @@ The default is ``"off"``: no conduit wrapper is installed and the hot
 paths are unchanged.
 """
 
+from repro.telemetry import tracing
 from repro.telemetry.conduit import TelemetryConduit
 from repro.telemetry.flight import FlightEvent, FlightRecorder, merge_dump
 from repro.telemetry.histogram import LogHistogram
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    MetricsSampler,
+    finalize_snapshot,
+    merge_snapshots,
+    metrics_reduce,
+    rank_snapshot,
+)
 from repro.telemetry.perfetto import to_perfetto, write_perfetto
 from repro.telemetry.recorder import (
     RankTelemetry,
@@ -50,4 +61,13 @@ __all__ = [
     "TelemetryConduit",
     "to_perfetto",
     "write_perfetto",
+    "tracing",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "rank_snapshot",
+    "merge_snapshots",
+    "finalize_snapshot",
+    "metrics_reduce",
 ]

@@ -36,6 +36,7 @@ class FlightEvent:
     dst: int = -1     # target (-1: not a point-to-point event)
     nbytes: int = 0
     detail: str = ""
+    trace_id: int = 0  # causal trace (repro.telemetry.tracing); 0 = untraced
 
 
 class FlightRecorder:
@@ -52,9 +53,11 @@ class FlightRecorder:
         self.dropped = 0
 
     def record(self, kind: str, src: int = -1, dst: int = -1,
-               nbytes: int = 0, detail: str = "") -> None:
+               nbytes: int = 0, detail: str = "",
+               trace_id: int = 0) -> None:
         ev = FlightEvent(t=time.perf_counter(), rank=self.rank, kind=kind,
-                         src=src, dst=dst, nbytes=nbytes, detail=detail)
+                         src=src, dst=dst, nbytes=nbytes, detail=detail,
+                         trace_id=trace_id)
         with self._lock:
             if len(self._ring) == self.capacity:
                 self.dropped += 1
@@ -75,13 +78,16 @@ class FlightRecorder:
 
 
 def merge_dump(recorders: Iterable[FlightRecorder],
-               header: str = "", limit_per_rank: int | None = None) -> str:
+               header: str = "", limit_per_rank: int | None = None,
+               extra_events: Iterable[FlightEvent] | None = None) -> str:
     """Merge per-rank rings into one human-readable, time-ordered dump.
 
     ``header`` names the triggering failure (e.g. the ``CommTimeout``
     message — which itself names the stuck op).  Timestamps are printed
     relative to the earliest merged event so the dump reads as a
-    countdown to the failure.
+    countdown to the failure.  ``extra_events`` lets out-of-band sources
+    (e.g. the chaos conduit's injected-fault schedule) splice instants
+    into the same timeline.
     """
     per_rank: list[tuple[FlightRecorder, list[FlightEvent]]] = []
     for rec in recorders:
@@ -89,9 +95,10 @@ def merge_dump(recorders: Iterable[FlightRecorder],
         if limit_per_rank is not None:
             evs = evs[-limit_per_rank:]
         per_rank.append((rec, evs))
-    merged = sorted(
-        (ev for _, evs in per_rank for ev in evs), key=lambda ev: ev.t
-    )
+    pool: list[FlightEvent] = [ev for _, evs in per_rank for ev in evs]
+    if extra_events is not None:
+        pool.extend(extra_events)
+    merged = sorted(pool, key=lambda ev: ev.t)
     lines = ["=" * 72, "FLIGHT RECORDER DUMP"]
     if header:
         lines.append(f"trigger: {header}")
@@ -109,9 +116,10 @@ def merge_dump(recorders: Iterable[FlightRecorder],
                 route = f" {ev.src}->{ev.dst}"
             size = f" {ev.nbytes}B" if ev.nbytes else ""
             detail = f"  {ev.detail}" if ev.detail else ""
+            trace = f" [trace {ev.trace_id:#x}]" if ev.trace_id else ""
             lines.append(
                 f"[{(ev.t - t0) * 1e3:10.3f} ms] rank {ev.rank}: "
-                f"{ev.kind}{route}{size}{detail}"
+                f"{ev.kind}{route}{size}{detail}{trace}"
             )
     lines.append("=" * 72)
     return "\n".join(lines) + "\n"

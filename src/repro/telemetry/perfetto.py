@@ -65,6 +65,9 @@ def to_perfetto(trace=None, telemetry=None, extra_events=None) -> dict:
 
     # Canonical order: by start time, longest span first on ties, so an
     # enclosing region always precedes the sub-spans that start with it.
+    # Spans sharing a non-zero trace_id are one causal chain; collect
+    # them (in time order) to emit flow events below.
+    flows: dict[int, list] = {}
     for s in sorted(spans, key=lambda s: (s.t0, -s.dur)):
         pids.add(s.rank)
         ev = {
@@ -76,9 +79,43 @@ def to_perfetto(trace=None, telemetry=None, extra_events=None) -> dict:
             "dur": _sec_to_us(s.dur),
             "cat": "runtime",
         }
+        args = {}
         if s.detail:
-            ev["args"] = {"detail": s.detail}
+            args["detail"] = s.detail
+        if s.trace_id:
+            args["trace_id"] = f"{s.trace_id:#x}"
+            args["span_id"] = f"{s.span_id:#x}"
+            if s.parent_id:
+                args["parent_id"] = f"{s.parent_id:#x}"
+            flows.setdefault(s.trace_id, []).append((ev, s))
+        if args:
+            ev["args"] = args
         events.append(ev)
+
+    # Flow events ("s" start / "t" step / "f" finish, matched by id)
+    # draw the causal arrows between the slices of one trace — e.g.
+    # client kv_put -> handler -> kv_repl hop -> reply across rank
+    # tracks.  Each flow event is bound to its slice by emitting it at
+    # the slice's pid/tid just inside the slice's time range.
+    for trace_id, chain in flows.items():
+        if len(chain) < 2:
+            continue
+        root_name = chain[0][1].name
+        last = len(chain) - 1
+        for i, (slice_ev, _s) in enumerate(chain):
+            ph = "s" if i == 0 else ("f" if i == last else "t")
+            flow = {
+                "name": root_name,
+                "cat": "trace",
+                "id": trace_id,
+                "ph": ph,
+                "pid": slice_ev["pid"],
+                "tid": slice_ev["tid"],
+                "ts": slice_ev["ts"],
+            }
+            if ph == "f":
+                flow["bp"] = "e"
+            events.append(flow)
 
     for ev in trace_events:
         pids.add(ev.src)

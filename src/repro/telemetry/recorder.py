@@ -28,8 +28,10 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro.telemetry import tracing
 from repro.telemetry.flight import DEFAULT_CAPACITY, FlightRecorder, merge_dump
 from repro.telemetry.histogram import LogHistogram
+from repro.telemetry.metrics import MetricsRegistry
 
 MODES = ("off", "flight", "full")
 
@@ -44,6 +46,16 @@ class TelemetryConfig:
     flight_capacity: int = DEFAULT_CAPACITY
     #: Upper bound on retained spans per rank (Perfetto export size).
     max_spans: int = 20000
+    #: Background sampler period in seconds (task queue depth, pending
+    #: replies, retransmit backlog, segment bytes, steal rate); ``None``
+    #: leaves the sampler thread unstarted.
+    sample_period: float | None = None
+    #: Straggler-watchdog scan period in seconds; ``None`` disables it.
+    watchdog_period: float | None = None
+    #: An in-flight AM is flagged ``slow_op`` once older than
+    #: ``max(slow_op_min_s, slow_op_factor * p99(am_rtt))``.
+    slow_op_factor: float = 8.0
+    slow_op_min_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -84,6 +96,10 @@ class Span:
     rank: int
     tid: int         # OS thread ident (for physically correct nesting)
     detail: str = ""
+    # causal linkage (repro.telemetry.tracing); all 0 for untraced spans
+    trace_id: int = 0
+    span_id: int = 0
+    parent_id: int = 0
 
 
 class RankTelemetry:
@@ -95,7 +111,8 @@ class RankTelemetry:
 
     __slots__ = ("rank", "mode", "active", "full", "flight",
                  "_hist", "_hist_lock", "_spans", "_span_lock",
-                 "spans_dropped", "max_spans")
+                 "spans_dropped", "max_spans", "metrics", "_id_counter",
+                 "_id_lock")
 
     def __init__(self, rank: int, config: TelemetryConfig):
         self.rank = rank
@@ -109,6 +126,26 @@ class RankTelemetry:
         self._span_lock = threading.Lock()
         self.spans_dropped = 0
         self.max_spans = config.max_spans
+        #: Typed counter/gauge registry (repro.telemetry.metrics).
+        self.metrics = MetricsRegistry()
+        # Trace/span ids are rank-salted counter values, not random
+        # bits, so fixed-seed runs reproduce identical ids.
+        self._id_counter = 0
+        self._id_lock = threading.Lock()
+
+    # -- trace/span id generation -----------------------------------------
+    def _next_id(self) -> int:
+        with self._id_lock:
+            self._id_counter += 1
+            return ((self.rank + 1) << 40) | self._id_counter
+
+    def new_trace_id(self) -> int:
+        """A fresh, deterministic, rank-unique trace id (never 0)."""
+        return self._next_id()
+
+    def new_span_id(self) -> int:
+        """A fresh span id (same sequence as trace ids; never 0)."""
+        return self._next_id()
 
     # -- histograms -------------------------------------------------------
     def histogram(self, name: str, unit: str = "ns") -> LogHistogram:
@@ -135,18 +172,27 @@ class RankTelemetry:
 
     # -- flight recorder --------------------------------------------------
     def flight_event(self, kind: str, src: int = -1, dst: int = -1,
-                     nbytes: int = 0, detail: str = "") -> None:
+                     nbytes: int = 0, detail: str = "",
+                     trace_id: int = 0) -> None:
         if self.active:
-            self.flight.record(kind, src, dst, nbytes, detail)
+            if trace_id == 0:
+                # inherit the thread's bound trace context, so e.g.
+                # kv_failover/kv_promote events inside a traced client
+                # op or handler are tagged without caller changes
+                trace_id = tracing.current_trace_id()
+            self.flight.record(kind, src, dst, nbytes, detail, trace_id)
 
     # -- spans ------------------------------------------------------------
     def record_span(self, name: str, t0: float, dur: float,
-                    detail: str = "") -> None:
+                    detail: str = "", trace_id: int = 0,
+                    span_id: int = 0, parent_id: int = 0) -> None:
         """Retain a completed span for export (no-op unless "full")."""
         if not self.full:
             return
         span = Span(name=name, t0=t0, dur=dur, rank=self.rank,
-                    tid=threading.get_ident(), detail=detail)
+                    tid=threading.get_ident(), detail=detail,
+                    trace_id=trace_id, span_id=span_id,
+                    parent_id=parent_id)
         with self._span_lock:
             if len(self._spans) >= self.max_spans:
                 self.spans_dropped += 1
@@ -216,10 +262,17 @@ class WorldTelemetry:
 
     # -- flight recorder --------------------------------------------------
     def dump_flight_recorder(self, header: str = "",
-                             limit_per_rank: int | None = None) -> str:
-        """The merged, human-readable black-box read-out."""
+                             limit_per_rank: int | None = None,
+                             extra_events=None) -> str:
+        """The merged, human-readable black-box read-out.
+
+        ``extra_events`` splices out-of-band :class:`FlightEvent`\\ s
+        (e.g. the chaos conduit's injected-fault schedule) into the
+        merged timeline.
+        """
         if not self.enabled:
             return ("(flight recorder inactive: telemetry mode is 'off'; "
                     "run with telemetry='flight' or 'full')\n")
         return merge_dump((rt.flight for rt in self.ranks),
-                          header=header, limit_per_rank=limit_per_rank)
+                          header=header, limit_per_rank=limit_per_rank,
+                          extra_events=extra_events)

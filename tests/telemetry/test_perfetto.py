@@ -46,12 +46,16 @@ def test_export_is_valid_trace_event_json(tmp_path):
     assert data["displayTimeUnit"] == "ms"
     assert evs, "no events exported"
     phases = {e["ph"] for e in evs}
-    assert phases <= {"X", "i", "M"}
+    # X/i/M plus the flow-event triplet (s/t/f) linking causal traces
+    assert phases <= {"X", "i", "M", "s", "t", "f"}
     for e in evs:
         assert isinstance(e["pid"], int)
         assert isinstance(e["tid"], int)
         if e["ph"] != "M":
             assert e["ts"] >= 0
+    for e in evs:
+        if e["ph"] in ("s", "t", "f"):
+            assert "id" in e and e["cat"] == "trace"
 
 
 def test_ranks_are_processes_with_names():

@@ -1,0 +1,250 @@
+"""Cross-rank causal tracing: wire propagation, handler restoration,
+Perfetto flow events, and the retransmit linkage.
+
+The contract under test is the tentpole of the tracing plane: a client
+op (``kv_put`` etc.) opens a root span, every AM it issues carries the
+(trace_id, span_id) pair in the wire frame's 16-byte trailer, the
+target rank's handler dispatch rebinds the context, and everything the
+handler does — replication hops, replies, retransmits — lands in the
+*same* trace.  Untraced messages must cost zero wire bytes.
+"""
+
+from __future__ import annotations
+
+import re
+
+import repro
+from repro.containers import DistHashMap
+from repro.gasnet import ChaosConduit
+from repro.gasnet.am import ActiveMessage, make_reply
+from repro.gasnet.wire.frame import (
+    F_HAS_TRACE, HEADER, TRACE_TRAILER, encode_am,
+)
+from repro.telemetry import to_perfetto, tracing
+from tests.conftest import run_spmd
+
+
+RELIABILITY = {"seed": 0, "peer_timeout": 1.0, "heartbeat_period": 0.05}
+
+
+# ------------------------------------------------------------- wire layer
+
+def test_untraced_frame_has_no_trailer():
+    am = ActiveMessage(handler="noop", src_rank=0, args=(1, 2))
+    f = encode_am(am)
+    flags = HEADER.unpack_from(f.ctrl, 0)[1]
+    assert not flags & F_HAS_TRACE
+    assert f.thaw().trace_id == 0
+
+
+def test_traced_frame_roundtrips_ids_in_16_extra_bytes():
+    plain = ActiveMessage(handler="noop", src_rank=0, args=(1, 2))
+    traced = ActiveMessage(handler="noop", src_rank=0, args=(1, 2),
+                           trace_id=0xDEAD_BEEF_01, span_id=0x42)
+    fp, ft = encode_am(plain), encode_am(traced)
+    # the trailer is the whole cost: header layout is unchanged
+    assert len(ft.ctrl) == len(fp.ctrl) + TRACE_TRAILER.size
+    out = ft.thaw()
+    assert out.trace_id == 0xDEAD_BEEF_01
+    assert out.span_id == 0x42
+
+
+def test_trace_survives_reliability_envelope():
+    """The reliability layer wraps data AMs in a ``__rel_data__``
+    envelope; the inner frame is spliced whole, so the trace trailer
+    must survive the nesting (and therefore every retransmit)."""
+    inner = ActiveMessage(handler="noop", src_rank=0, args=("x",),
+                          trace_id=77, span_id=88)
+    env = ActiveMessage(handler="__rel_data__", src_rank=0,
+                        args=(), payload=inner, aux=5)
+    out = encode_am(env).thaw()
+    assert out.payload.trace_id == 77
+    assert out.payload.span_id == 88
+
+
+def test_make_reply_inherits_trace_context():
+    req = ActiveMessage(handler="h", src_rank=0, token=9,
+                        trace_id=123, span_id=456)
+    rep = make_reply(req, 1, args=("ok",))
+    assert rep.trace_id == 123
+    assert rep.span_id == 456
+
+
+# -------------------------------------------------- thread-local context
+
+def test_tracing_context_binding_is_scoped():
+    assert tracing.current_ids() == (0, 0)
+    with tracing.bound(10, 20):
+        assert tracing.current_ids() == (10, 20)
+        with tracing.bound(30, 40):
+            assert tracing.current_ids() == (30, 40)
+        assert tracing.current_ids() == (10, 20)
+    assert tracing.current_ids() == (0, 0)
+
+
+def test_span_noop_without_telemetry():
+    with tracing.span(None, "anything"):
+        assert tracing.current_ids() == (0, 0)
+
+
+# -------------------------------------------- cross-rank causal chains
+
+def _traced_kv_run(ranks=4, conduit=None, reliability=None, puts=8):
+    """Every rank does remote kv puts/gets under full telemetry;
+    returns the (still-live) world for span/flow inspection."""
+    holder: dict = {}
+
+    def body():
+        me, n = repro.myrank(), repro.ranks()
+        if me == 0:
+            holder["world"] = repro.current_world()
+        m = DistHashMap(replicas=1 if reliability else 0)
+        repro.barrier()
+        for i in range(puts):
+            m.put(f"t{me}:{i}", (me, i))   # keys hash across all shards
+        repro.barrier()
+        for i in range(puts):
+            assert m.get(f"t{(me + 1) % n}:{i}") == ((me + 1) % n, i)
+        repro.barrier()
+        return True
+
+    kwargs = {}
+    if conduit is not None:
+        kwargs["conduit"] = conduit
+    if reliability is not None:
+        kwargs["reliability"] = reliability
+    assert all(run_spmd(body, ranks=ranks, telemetry="full", **kwargs))
+    return holder["world"]
+
+
+def test_kv_op_spans_one_trace_across_ranks():
+    world = _traced_kv_run()
+    spans = world.telemetry.all_spans()
+    roots = [s for s in spans if s.name == "kv_put" and s.trace_id]
+    assert roots, "kv_put client ops should open traced root spans"
+    # At least one root's trace reaches a handler span on ANOTHER rank:
+    # the 16-byte trailer did its job and dispatch rebound the context.
+    linked = 0
+    by_trace: dict[int, list] = {}
+    for s in spans:
+        if s.trace_id:
+            by_trace.setdefault(s.trace_id, []).append(s)
+    for root in roots:
+        chain = by_trace[root.trace_id]
+        handlers = [s for s in chain if s.name == "am:kv_put"]
+        if any(s.rank != root.rank for s in handlers):
+            linked += 1
+            # the handler span is parented on the client's root span
+            assert any(s.parent_id == root.span_id for s in handlers)
+    assert linked, "no kv_put trace crossed a rank boundary"
+
+
+def test_replication_hop_joins_client_trace():
+    world = _traced_kv_run(reliability=RELIABILITY,
+                           conduit=ChaosConduit(seed=11))
+    spans = world.telemetry.all_spans()
+    by_trace: dict[int, set] = {}
+    for s in spans:
+        if s.trace_id:
+            by_trace.setdefault(s.trace_id, set()).add(s.name)
+    chains = [names for names in by_trace.values() if "kv_put" in names]
+    assert any("am:kv_repl" in names for names in chains), \
+        "replication hop should inherit the client op's trace id"
+
+
+def test_perfetto_emits_cross_rank_flows_for_kv_ops():
+    world = _traced_kv_run()
+    data = to_perfetto(telemetry=world.telemetry)
+    evs = data["traceEvents"]
+    flows = [e for e in evs if e["ph"] in ("s", "t", "f")]
+    assert flows, "traced run should emit flow events"
+    for e in flows:
+        assert e["cat"] == "trace"
+    pids_by_flow: dict[int, set] = {}
+    names_by_flow: dict[int, str] = {}
+    for e in flows:
+        pids_by_flow.setdefault(e["id"], set()).add(e["pid"])
+        names_by_flow[e["id"]] = e["name"]
+    cross = [fid for fid, pids in pids_by_flow.items() if len(pids) >= 2]
+    assert cross, "expected at least one flow spanning two rank tracks"
+    assert any(names_by_flow[fid].startswith("kv_")
+               for fid in cross), "cross-rank flows should be kv ops"
+    # every flow sequence is terminated ("s" ... "f" with bp=e)
+    by_id: dict[int, list] = {}
+    for e in flows:
+        by_id.setdefault(e["id"], []).append(e)
+    for fid, seq in by_id.items():
+        phases = [e["ph"] for e in seq]
+        assert phases.count("s") == 1 and phases.count("f") == 1, fid
+        assert all(e["bp"] == "e" for e in seq if e["ph"] == "f")
+
+
+def test_retransmit_joins_originating_trace():
+    """Under a lossy conduit the reliability layer's retransmits must be
+    attributed to the client op whose data frame they carry — both in
+    the flight ring and (full mode) as spans in the same trace."""
+    world = _traced_kv_run(
+        conduit=ChaosConduit(seed=3, am_drop_rate=0.25),
+        reliability=dict(RELIABILITY, seed=3), puts=16,
+    )
+    spans = world.telemetry.all_spans()
+    client_traces = {s.trace_id for s in spans
+                     if s.name.startswith("kv_") and s.trace_id}
+    retrans = [s for s in spans if s.name.startswith("retransmit:")]
+    assert retrans, "0.25 drop rate must force retransmits (seeded)"
+    assert any(s.trace_id in client_traces for s in retrans), \
+        "retransmit spans should join the originating client trace"
+    flights = [ev for rt in world.telemetry.ranks
+               for ev in rt.flight.snapshot()
+               if ev.kind == "retransmit_traced"]
+    assert any(ev.trace_id in client_traces for ev in flights)
+
+
+def test_trace_ids_are_rank_salted_and_unique():
+    """Ids are rank-salted counters, not clocks/randomness: the minting
+    rank is recoverable from the high bits and no two spans collide."""
+    world = _traced_kv_run(ranks=4, puts=4)
+    spans = [s for s in world.telemetry.all_spans() if s.span_id]
+    assert spans
+    ids = [s.span_id for s in spans]
+    assert len(ids) == len(set(ids)), "span ids must be globally unique"
+    for s in spans:
+        assert 1 <= (s.span_id >> 40) <= 4  # salt = minting rank + 1
+    for s in spans:
+        if s.name == "kv_put" and s.trace_id:
+            assert (s.trace_id >> 40) == s.rank + 1
+
+
+# ------------------------------------------------- chaos flight bridge
+
+def test_chaos_faults_appear_in_flight_dump():
+    """Injected faults bridge into the merged flight dump as inline
+    ``chaos_*`` instants, time-ordered with the rank events."""
+    holder: dict = {}
+
+    def body():
+        me = repro.myrank()
+        if me == 0:
+            holder["world"] = repro.current_world()
+        m = DistHashMap()
+        repro.barrier()
+        for i in range(24):
+            m.put(f"c{me}:{i}", i)
+        repro.barrier()
+        return True
+
+    conduit = ChaosConduit(seed=5, am_drop_rate=0.2)
+    assert all(run_spmd(body, ranks=2, conduit=conduit,
+                        reliability={"seed": 5, "peer_timeout": 1.0,
+                                     "heartbeat_period": 0.05},
+                        telemetry="flight"))
+    assert conduit.fault_log, "seeded 0.2 drop rate must inject faults"
+    events = conduit.fault_events()
+    assert len(events) == len(conduit.fault_log)
+    text = holder["world"].dump_flight_recorder(header="test")
+    assert "chaos_drop" in text
+    # bridged instants share the merged, time-ordered timeline
+    times = [float(m.group(1)) for m in
+             re.finditer(r"^\[\s*(-?[0-9.]+) ms\]", text, re.M)]
+    assert times == sorted(times)
+    assert len(times) > len(events)  # interleaved with rank events
