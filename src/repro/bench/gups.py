@@ -221,12 +221,15 @@ def random_access(log2_table_size: int = 10, updates_per_rank: int = 256,
 
 def run(ranks: int = 4, log2_table_size: int = 10,
         updates_per_rank: int = 256, variant: str = "upcxx",
-        verify: bool = True, telemetry=None) -> GupsResult:
+        verify: bool = True, telemetry=None, conduit=None) -> GupsResult:
     """Launch the benchmark in its own SPMD world.
 
     ``telemetry`` is forwarded to :func:`repro.spmd` ("off"/"flight"/
     "full" or a :class:`repro.telemetry.TelemetryConfig`) — the overhead
     comparison in the bench harness runs the same workload at each mode.
+    ``conduit`` selects the backend ("smp"/"proc", a conduit instance,
+    or None for the default), so the harness can compare thread- vs
+    process-backed worlds on the same workload.
     """
     results = repro.spmd(
         random_access, ranks=ranks,
@@ -236,5 +239,6 @@ def run(ranks: int = 4, log2_table_size: int = 10,
             variant=variant, verify=verify,
         ),
         telemetry=telemetry,
+        conduit=conduit,
     )
     return results[0]

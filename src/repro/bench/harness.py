@@ -206,17 +206,22 @@ def print_fig1() -> None:
     print("  constraints: t1,t2 before t3; t3,t4 before t5,t6\n")
 
 
-def validate(ranks: int = 4) -> dict:
-    """Run every real benchmark small and return the verification map."""
+def validate(ranks: int = 4, conduit=None) -> dict:
+    """Run every real benchmark small and return the verification map.
+
+    ``conduit`` ("smp"/"proc"/None) selects the backend for the
+    benchmarks that are conduit-parametric (GUPS); the rest run on the
+    default backend.
+    """
     from repro.bench import gups, lulesh, raytrace, sample_sort, stencil
 
     cube = max(8, ranks) if round(ranks ** (1 / 3)) ** 3 == ranks else 8
     out = {}
     r = gups.run(ranks=ranks, log2_table_size=10, updates_per_rank=64,
-                 variant="upcxx")
+                 variant="upcxx", conduit=conduit)
     out["gups/upcxx"] = r.verified
     r = gups.run(ranks=ranks, log2_table_size=10, updates_per_rank=64,
-                 variant="upc")
+                 variant="upc", conduit=conduit)
     out["gups/upc"] = r.verified
     r = stencil.run(ranks=ranks, box=6, iters=2)
     out["stencil"] = r.verified
@@ -452,7 +457,7 @@ def _per_op_microbench(iters: int = 200, reps: int = 3) -> dict:
     return out
 
 
-def export_kv(path: str, ranks: int = 4) -> dict:
+def export_kv(path: str, ranks: int = 4, conduit=None) -> dict:
     """KV workload smoke -> structured ``BENCH_4.json``.
 
     Runs :func:`repro.bench.kv_workload.run` and writes per-op
@@ -466,7 +471,7 @@ def export_kv(path: str, ranks: int = 4) -> dict:
 
     from repro.bench import kv_workload
 
-    r = kv_workload.run(ranks=ranks)
+    r = kv_workload.run(ranks=ranks, conduit=conduit)
     out = dataclasses.asdict(r)
     with open(path, "w") as f:
         json.dump(out, f, indent=2)
@@ -762,6 +767,87 @@ def _per_op_traced_microbench(iters: int = 150, reps: int = 3) -> dict:
     return out
 
 
+def export_conduits(path: str, ranks: int = 4,
+                    log2_table_size: int = 10,
+                    updates_per_rank: int = 1024,
+                    kv_keys: int = 1024, kv_ops: int = 600,
+                    reps: int = 2) -> dict:
+    """SMP (threads) vs proc (processes) comparison -> ``BENCH_9.json``.
+
+    Runs the same GUPS and KV workloads over both conduit backends at
+    the same rank count and records throughput plus the proc/smp
+    speedup ratio.  The proc backend's win is real parallelism: rank
+    bodies are Python, so threads serialize on the GIL while processes
+    do not — but only when there are cores to run them on, so the
+    machine's ``cpu_count`` is recorded alongside (a 1-core container
+    legitimately shows no speedup).
+    """
+    import json
+    import os as _os
+
+    from repro.bench import gups, kv_workload
+
+    cpus = _os.cpu_count() or 1
+    out: dict = {
+        "benchmark": "conduit_comparison",
+        "config": {
+            "ranks": ranks, "log2_table_size": log2_table_size,
+            "updates_per_rank": updates_per_rank,
+            "kv_keys": kv_keys, "kv_ops_per_rank": kv_ops, "reps": reps,
+        },
+        "cpu_count": cpus,
+        "conduits": {},
+    }
+    for name in ("smp", "proc"):
+        best_g = None
+        for _ in range(reps):
+            g = gups.run(ranks=ranks, log2_table_size=log2_table_size,
+                         updates_per_rank=updates_per_rank,
+                         variant="upcxx", conduit=name)
+            if best_g is None or g.seconds < best_g.seconds:
+                best_g = g
+        best_kv = None
+        for _ in range(reps):
+            kv = kv_workload.run(ranks=ranks, keys=kv_keys,
+                                 ops_per_rank=kv_ops,
+                                 microbench_keys=200, conduit=name)
+            if best_kv is None or kv.ops_per_sec > best_kv.ops_per_sec:
+                best_kv = kv
+        out["conduits"][name] = {
+            "gups": {
+                "seconds": best_g.seconds,
+                "updates_per_sec": best_g.gups * 1e9,
+                "verified": best_g.verified,
+            },
+            "kv": {
+                "ops_per_sec": best_kv.ops_per_sec,
+                "get_p50_us": best_kv.get_p50_us,
+                "get_p99_us": best_kv.get_p99_us,
+                "verified": best_kv.verified,
+            },
+        }
+    smp, proc = out["conduits"]["smp"], out["conduits"]["proc"]
+    out["speedup_proc_over_smp"] = {
+        "gups": (proc["gups"]["updates_per_sec"]
+                 / smp["gups"]["updates_per_sec"]
+                 if smp["gups"]["updates_per_sec"] > 0 else 0.0),
+        "kv": (proc["kv"]["ops_per_sec"] / smp["kv"]["ops_per_sec"]
+               if smp["kv"]["ops_per_sec"] > 0 else 0.0),
+    }
+    with open(path, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {path} (cpu_count={cpus})")
+    for name, e in out["conduits"].items():
+        print(f"  {name:<5} gups {e['gups']['updates_per_sec']:10.0f} "
+              f"updates/s  kv {e['kv']['ops_per_sec']:8.0f} ops/s  "
+              f"verified={e['gups']['verified'] and e['kv']['verified']}")
+    s = out["speedup_proc_over_smp"]
+    print(f"  proc/smp speedup: gups x{s['gups']:.2f}, kv x{s['kv']:.2f}"
+          + ("  (1 core: no parallel win expected)" if cpus < 2 else ""))
+    return out
+
+
 def export_perfetto(path: str, ranks: int = 4,
                     keys_per_rank: int = 2048) -> None:
     """4-rank sample sort -> Chrome/Perfetto ``trace_event`` JSON.
@@ -861,11 +947,21 @@ def main(argv=None) -> int:
                              "chaos, write trace/flow counts and the "
                              "tracing-overhead microbench as JSON plus "
                              "a Perfetto flow trace alongside")
+    parser.add_argument("--conduit", choices=("smp", "proc"), default=None,
+                        help="conduit backend for the conduit-parametric "
+                             "runs (--validate-ranks GUPS, --kv): smp = "
+                             "ranks as threads, proc = ranks as OS "
+                             "processes over shared memory")
+    parser.add_argument("--conduits", metavar="PATH",
+                        help="run GUPS + KV over both the smp and proc "
+                             "backends and write throughput plus the "
+                             "proc/smp speedup ratios as JSON")
     args = parser.parse_args(argv)
     global _CHARTS
     _CHARTS = args.charts
     if (args.metrics or args.perfetto or args.kv or args.collectives
-            or args.serde or args.failover or args.tracing):
+            or args.serde or args.failover or args.tracing
+            or args.conduits):
         if args.metrics:
             export_metrics(args.metrics,
                            ranks=args.validate_ranks or 4)
@@ -873,7 +969,11 @@ def main(argv=None) -> int:
             export_perfetto(args.perfetto,
                             ranks=args.validate_ranks or 4)
         if args.kv:
-            export_kv(args.kv, ranks=args.validate_ranks or 4)
+            export_kv(args.kv, ranks=args.validate_ranks or 4,
+                      conduit=args.conduit)
+        if args.conduits:
+            export_conduits(args.conduits,
+                            ranks=args.validate_ranks or 4)
         if args.collectives:
             export_collectives(args.collectives,
                                ranks=args.validate_ranks or 4)
@@ -897,7 +997,8 @@ def main(argv=None) -> int:
         print_calibration()
     if args.validate_ranks:
         print("== real small-scale validation ==")
-        for k, ok in validate(args.validate_ranks).items():
+        for k, ok in validate(args.validate_ranks,
+                              conduit=args.conduit).items():
             print(f"  {k:<22} {'PASS' if ok else 'FAIL'}")
     return 0
 

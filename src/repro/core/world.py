@@ -94,7 +94,9 @@ class RankState:
     def __init__(self, world: "World", rank: int, segment_size: int):
         self.world = world
         self.rank = rank
-        self.segment = Segment(segment_size, rank=rank)
+        factory = world._segment_factory
+        self.segment = (Segment(segment_size, rank=rank)
+                        if factory is None else factory(rank, segment_size))
         self.stats = CommStats()
         #: This rank's telemetry state (histograms, flight recorder);
         #: always present — a no-op object when telemetry is "off".
@@ -515,6 +517,8 @@ class World:
         heartbeat_period: float = 0.02,
         telemetry=None,
         survive_rank_death: bool = False,
+        local_ranks=None,
+        segment_factory=None,
     ):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
@@ -522,6 +526,16 @@ class World:
             raise ValueError("thread_mode must be serialized|concurrent")
         self.id = next(_world_ids)
         self.n_ranks = n_ranks
+        #: None on in-process backends (every rank is local).  On the
+        #: proc backend each rank process holds the full directory of
+        #: RankState objects, but only its own rank *executes* here —
+        #: the rest are stubs whose segments are shared-memory views.
+        #: Liveness machinery (progress thread, failure detector,
+        #: metrics sampler, reliability heartbeats) must only drive the
+        #: local ranks.
+        self.local_ranks = (None if local_ranks is None
+                            else frozenset(local_ranks))
+        self._segment_factory = segment_factory
         self.thread_mode = thread_mode
         self.op_timeout = op_timeout
         self.heartbeat_timeout = heartbeat_timeout
@@ -612,6 +626,11 @@ class World:
         from repro.telemetry import metrics as _metrics
 
         return _metrics.metrics_reduce(team=team, snapshot=snapshot)
+
+    def is_local(self, rank: int) -> bool:
+        """Whether ``rank`` executes in this process (always true on
+        in-process backends)."""
+        return self.local_ranks is None or rank in self.local_ranks
 
     # -- failure propagation ------------------------------------------------
     @property
@@ -726,6 +745,8 @@ class World:
                 return
             now = time.monotonic()
             for rk in self.ranks:
+                if not self.is_local(rk.rank):
+                    continue  # remote stubs: their process watches them
                 if rk.done or rk.rank in self.dead_ranks:
                     continue
                 if rk.dead:
@@ -746,6 +767,8 @@ class World:
         while not self._progress_stop.is_set():
             progressed = False
             for rank in self.ranks:
+                if not self.is_local(rank.rank):
+                    continue
                 if rank.done or rank.dead:
                     continue
                 try:
@@ -818,6 +841,12 @@ def spmd(
     objects, asyncs, ...) is available.  The first exception raised by any
     rank unblocks all peers and is re-raised here.
 
+    ``conduit`` selects the communication backend: a ready
+    :class:`~repro.gasnet.conduit.Conduit` instance, a backend name
+    (``"smp"`` for threads-as-ranks, ``"proc"`` for processes-as-ranks
+    over shared memory), or ``None`` to honor the ``REPRO_CONDUIT``
+    environment variable (default ``"smp"``).
+
     >>> import repro
     >>> repro.spmd(lambda: repro.myrank(), ranks=3)
     [0, 1, 2]
@@ -825,6 +854,20 @@ def spmd(
     if getattr(_tls, "ctx", None) is not None:
         raise PgasError("nested spmd() regions are not supported")
     kwargs = kwargs or {}
+    from repro.gasnet import backends as _backends
+
+    conduit, backend = _backends.resolve(conduit)
+    if backend is not None and backend.caps.needs_launcher:
+        from repro.core.proclaunch import spmd_proc
+
+        return spmd_proc(
+            fn, ranks, args=args, kwargs=kwargs,
+            segment_size=segment_size, thread_mode=thread_mode,
+            timeout=timeout, reliability=reliability,
+            heartbeat_timeout=heartbeat_timeout,
+            heartbeat_period=heartbeat_period, telemetry=telemetry,
+            survive_rank_death=survive_rank_death,
+        )
     world = World(
         ranks, segment_size=segment_size, conduit=conduit,
         thread_mode=thread_mode, op_timeout=timeout,

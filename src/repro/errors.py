@@ -36,6 +36,12 @@ class PeerFailure(PgasError):
         self.failed_rank = failed_rank
         self.original = original
 
+    def __reduce__(self):
+        # The default BaseException reduction replays args — which here
+        # is the formatted message, not (rank, original) — so spell out
+        # the constructor call (proc backend ships these cross-process).
+        return (PeerFailure, (self.failed_rank, self.original))
+
 
 class SegmentOutOfMemory(PgasError):
     """The per-rank global segment could not satisfy an allocation."""

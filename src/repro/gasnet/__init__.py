@@ -12,21 +12,30 @@ provides the same three primitives GASNet gives the UPC++ runtime:
   target, optionally carrying a payload and optionally generating a reply
   (:mod:`repro.gasnet.am`).
 
-The only conduit implemented here is the *SMP conduit*
-(:mod:`repro.gasnet.smp`): SPMD ranks are OS threads of one process and
-RMA is a direct, locked access to the peer segment — which models RDMA
-faithfully (the target CPU never runs code for a put/get).
+Two real conduits are implemented, selected via
+:mod:`repro.gasnet.backends` (``spmd(..., conduit="smp"|"proc")``):
+
+* the *SMP conduit* (:mod:`repro.gasnet.smp`): SPMD ranks are OS threads
+  of one process and RMA is a direct, locked access to the peer segment
+  — which models RDMA faithfully (the target CPU never runs code for a
+  put/get);
+* the *proc conduit* (:mod:`repro.gasnet.proc`): ranks are OS processes,
+  segments live in ``multiprocessing.shared_memory`` (RMA stays
+  zero-copy across processes) and active messages cross Unix-domain
+  socket pairs as the struct-packed wire frames.
 """
 
 from repro.gasnet.segment import Segment
 from repro.gasnet.am import ActiveMessage, am_handler, handler_registry
-from repro.gasnet.conduit import Conduit
+from repro.gasnet.conduit import Conduit, ConduitCaps
 from repro.gasnet.smp import SmpConduit
 from repro.gasnet.delay import DelayConduit
 from repro.gasnet.chaos import ChaosConduit
+from repro.gasnet.proc import ProcConduit, ProcFabric
 from repro.gasnet.reliability import ReliabilityConfig, ReliableConduit
 from repro.gasnet.stats import CommStats
 from repro.gasnet.trace import Trace, TraceEvent
+from repro.gasnet import backends
 
 __all__ = [
     "Segment",
@@ -34,12 +43,16 @@ __all__ = [
     "am_handler",
     "handler_registry",
     "Conduit",
+    "ConduitCaps",
     "SmpConduit",
     "DelayConduit",
     "ChaosConduit",
+    "ProcConduit",
+    "ProcFabric",
     "ReliableConduit",
     "ReliabilityConfig",
     "CommStats",
     "Trace",
     "TraceEvent",
+    "backends",
 ]

@@ -32,16 +32,26 @@ from collections import deque
 
 import numpy as np
 
-from repro.errors import TransientCommError
+from repro.errors import PgasError, TransientCommError
 from repro.gasnet.am import ActiveMessage
-from repro.gasnet.smp import SmpConduit
+from repro.gasnet.conduit import Conduit
 
 
-class ChaosConduit(SmpConduit):
-    """SMP conduit + seeded drop/dup/reorder/fault/partition injection.
+class ChaosConduit(Conduit):
+    """Conduit wrapper + seeded drop/dup/reorder/fault/partition injection.
+
+    Wraps any in-process backend (default: a fresh
+    :class:`~repro.gasnet.smp.SmpConduit`), doing the fault roll once per
+    *send decision* and handing the survivors to the inner conduit's
+    :meth:`~repro.gasnet.conduit.Conduit.deliver_encoded`.  Requires
+    ``inner.caps.in_process_hooks``: chaos injection needs one process-
+    wide view of the wire (a cross-process backend would let each rank
+    roll its own divergent fault schedule).
 
     Parameters
     ----------
+    inner:
+        The transport to break; ``None`` builds an SMP conduit.
     seed:
         RNG seed; a fixed seed gives a reproducible fault *mix* (exact
         interleaving still depends on thread scheduling).
@@ -54,10 +64,24 @@ class ChaosConduit(SmpConduit):
         operation applied at the target.
     """
 
-    def __init__(self, seed: int = 0, am_drop_rate: float = 0.0,
+    def __init__(self, inner: Conduit | None = None, seed: int = 0,
+                 am_drop_rate: float = 0.0,
                  am_dup_rate: float = 0.0, am_reorder_rate: float = 0.0,
                  rma_fault_rate: float = 0.0):
-        super().__init__()
+        if inner is None:
+            from repro.gasnet.smp import SmpConduit
+
+            inner = SmpConduit()
+        if not inner.caps.in_process_hooks:
+            raise PgasError(
+                f"ChaosConduit needs an in-process backend "
+                f"(inner {type(inner).__name__} has "
+                f"in_process_hooks=False)"
+            )
+        self._inner = inner
+        self.world = None
+        #: Test hook: when set, the next send_am raises (fault injection).
+        self.fail_next_am: Exception | None = None
         self.am_drop_rate = float(am_drop_rate)
         self.am_dup_rate = float(am_dup_rate)
         self.am_reorder_rate = float(am_reorder_rate)
@@ -82,6 +106,18 @@ class ChaosConduit(SmpConduit):
         #: the next message to the pair — a pairwise-FIFO violation.
         self._held: dict[tuple[int, int], ActiveMessage] = {}
         self._killed: set[int] = set()
+
+    # -- lifecycle / capability forwarding ---------------------------------
+    @property
+    def caps(self):
+        return self._inner.caps
+
+    def attach(self, world) -> None:
+        self.world = world
+        self._inner.attach(world)
+
+    def close(self) -> None:
+        self._inner.close()
 
     # -- failure control ---------------------------------------------------
     def kill_rank(self, rank: int) -> None:
@@ -170,7 +206,7 @@ class ChaosConduit(SmpConduit):
             raise exc
         self._encode_and_record(src, am)
         if src == dst:  # loopback is reliable on any real transport
-            self._rank(dst).deliver(am)
+            self._inner.deliver_encoded(src, dst, am)
             return
         to_deliver: list[ActiveMessage] = []
         dropped = duplicated = held_now = False
@@ -211,7 +247,7 @@ class ChaosConduit(SmpConduit):
             self._trace_control("chaos_reorder", src, dst, am.wire_bytes,
                                 detail=am.handler)
         for m in to_deliver:
-            self._rank(dst).deliver(m)
+            self._inner.deliver_encoded(src, dst, m)
 
     # -- one-sided RMA -----------------------------------------------------
     def rma_put(self, src: int, dst: int, offset: int,
@@ -219,7 +255,7 @@ class ChaosConduit(SmpConduit):
         when = self._fault_point("put", src, dst)
         if when == "pre":
             self._raise_fault("put", src, dst, when)
-        super().rma_put(src, dst, offset, data)
+        self._inner.rma_put(src, dst, offset, data)
         if when == "post":
             self._raise_fault("put", src, dst, when)
 
@@ -228,7 +264,7 @@ class ChaosConduit(SmpConduit):
         when = self._fault_point("get", src, dst)
         if when == "pre":
             self._raise_fault("get", src, dst, when)
-        out = super().rma_get(src, dst, offset, dtype, count)
+        out = self._inner.rma_get(src, dst, offset, dtype, count)
         if when == "post":
             self._raise_fault("get", src, dst, when)
         return out
@@ -238,7 +274,7 @@ class ChaosConduit(SmpConduit):
         when = self._fault_point("atomic", src, dst)
         if when == "pre":
             self._raise_fault("atomic", src, dst, when)
-        old = super().rma_atomic(src, dst, offset, dtype, op, operand)
+        old = self._inner.rma_atomic(src, dst, offset, dtype, op, operand)
         if when == "post":
             # The update applied; the "completion" is lost.  A naive
             # retry would double-apply — exactly what the reliability
@@ -252,7 +288,7 @@ class ChaosConduit(SmpConduit):
         when = self._fault_point("put_indexed", src, dst)
         if when == "pre":
             self._raise_fault("put_indexed", src, dst, when)
-        super().rma_put_indexed(src, dst, base, elem_offsets, data)
+        self._inner.rma_put_indexed(src, dst, base, elem_offsets, data)
         if when == "post":
             self._raise_fault("put_indexed", src, dst, when)
 
@@ -262,7 +298,7 @@ class ChaosConduit(SmpConduit):
         when = self._fault_point("get_indexed", src, dst)
         if when == "pre":
             self._raise_fault("get_indexed", src, dst, when)
-        out = super().rma_get_indexed(src, dst, base, dtype, elem_offsets)
+        out = self._inner.rma_get_indexed(src, dst, base, dtype, elem_offsets)
         if when == "post":
             self._raise_fault("get_indexed", src, dst, when)
         return out
@@ -273,7 +309,7 @@ class ChaosConduit(SmpConduit):
         when = self._fault_point("atomic_batch", src, dst)
         if when == "pre":
             self._raise_fault("atomic_batch", src, dst, when)
-        old = super().rma_atomic_batch(
+        old = self._inner.rma_atomic_batch(
             src, dst, base, dtype, elem_offsets, op, operands, return_old
         )
         if when == "post":

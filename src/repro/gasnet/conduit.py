@@ -27,6 +27,7 @@ bounded RMA retry, and op-id-guarded exactly-once atomics.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -37,10 +38,41 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.world import World
 
 
+@dataclass(frozen=True)
+class ConduitCaps:
+    """Capability flags a conduit advertises to the runtime and to tests.
+
+    The backend factory (:mod:`repro.gasnet.backends`) and the fault
+    wrappers consult these instead of isinstance checks, so new backends
+    compose with the existing stack by declaring what they can do.
+    """
+
+    #: Ranks live in separate OS processes: objects cannot be shared by
+    #: reference across the conduit, and per-process state (handler
+    #: interning, telemetry rings) is not globally visible.
+    cross_process: bool = False
+    #: :func:`repro.die` produces a detectable rank death on this
+    #: backend (thread simulation or a real process exit).
+    supports_kill_rank: bool = True
+    #: Chaos/delay fault injection can hook delivery in-process.  False
+    #: for cross-process transports, where the wrapper would only see
+    #: one rank's side of the wire.
+    in_process_hooks: bool = True
+    #: RMA reads/writes the target segment with no serialization and no
+    #: intermediate copy beyond the transfer itself.
+    zero_copy_rma: bool = True
+    #: spmd() must go through the process launcher: the conduit cannot
+    #: be instantiated standalone in the calling process.
+    needs_launcher: bool = False
+
+
 class Conduit(abc.ABC):
     """Abstract network conduit."""
 
     world: "World | None" = None
+    #: Default capability set (in-process, full-featured); backends
+    #: override the class attribute, wrappers forward the inner one.
+    caps: ConduitCaps = ConduitCaps()
 
     def attach(self, world: "World") -> None:
         """Bind the conduit to a world (called by the world constructor)."""
@@ -52,6 +84,45 @@ class Conduit(abc.ABC):
         Called by :func:`repro.spmd` after all ranks joined; the default
         is a no-op so simple conduits need not define it.
         """
+
+    # -- shared send-path helpers ----------------------------------------
+    def _rank(self, r: int):
+        from repro.errors import PgasError
+
+        if self.world is None:
+            raise PgasError("conduit not attached to a world")
+        if not 0 <= r < self.world.n_ranks:
+            raise PgasError(
+                f"rank {r} out of range [0, {self.world.n_ranks})"
+            )
+        return self.world.ranks[r]
+
+    def _encode_and_record(self, src: int, am: ActiveMessage):
+        """Encode ``am`` into its wire frame and charge the sender's
+        stats.  Every conduit send path (smp, proc, chaos, delay)
+        funnels through here so the frame exists before delivery and the
+        fixed-layout hit rate is observable."""
+        from repro.gasnet.wire import encode_am
+
+        rank = self._rank(src)
+        frame = encode_am(am, rank.telemetry)
+        rank.stats.record_am(frame.nbytes)
+        rank.stats.record_wire(frame.used_pickle, frame.has_refs)
+        return frame
+
+    def deliver_encoded(self, src: int, dst: int,
+                        am: ActiveMessage) -> None:
+        """Transport an AM whose frame was already encoded and whose
+        stats were already recorded.
+
+        This is the raw delivery primitive the fault wrappers
+        (:class:`~repro.gasnet.chaos.ChaosConduit`,
+        :class:`~repro.gasnet.delay.DelayConduit`) use: they do the
+        encode/record once per *send decision* and then hand zero, one,
+        or two copies of the message to the backend without re-charging
+        the sender's counters.  The default simply re-enters
+        :meth:`send_am`."""
+        self.send_am(src, dst, am)
 
     # -- active messages ------------------------------------------------
     @abc.abstractmethod

@@ -29,15 +29,31 @@ import warnings
 import numpy as np
 
 from repro.gasnet.am import ActiveMessage
-from repro.gasnet.smp import SmpConduit
+from repro.gasnet.conduit import Conduit
 
 
-class DelayConduit(SmpConduit):
-    """SMP conduit + randomized, FIFO-preserving delivery delay."""
+class DelayConduit(Conduit):
+    """Conduit wrapper + randomized, FIFO-preserving delivery delay.
 
-    def __init__(self, base_delay: float = 0.0005,
+    Wraps any conduit (default: a fresh
+    :class:`~repro.gasnet.smp.SmpConduit`): the delay is applied on the
+    *sender* side, so per-(src, dst) FIFO is preserved regardless of the
+    inner transport; expiry hands the already-encoded message to the
+    inner conduit's :meth:`~repro.gasnet.conduit.Conduit.deliver_encoded`.
+    RMA passes straight through (RDMA semantics: immediate completion).
+    """
+
+    def __init__(self, inner: Conduit | None = None,
+                 base_delay: float = 0.0005,
                  jitter: float = 0.002, seed: int = 0):
-        super().__init__()
+        if inner is None:
+            from repro.gasnet.smp import SmpConduit
+
+            inner = SmpConduit()
+        self._inner = inner
+        self.world = None
+        #: Test hook: when set, the next send_am raises (fault injection).
+        self.fail_next_am: Exception | None = None
         self.base_delay = base_delay
         self.jitter = jitter
         self._rng = np.random.default_rng(seed)
@@ -52,6 +68,39 @@ class DelayConduit(SmpConduit):
             daemon=True,
         )
         self._dispatcher.start()
+
+    # -- lifecycle / capability forwarding ---------------------------------
+    @property
+    def caps(self):
+        return self._inner.caps
+
+    def attach(self, world) -> None:
+        self.world = world
+        self._inner.attach(world)
+
+    # -- one-sided RMA (pass-through) --------------------------------------
+    def rma_put(self, src, dst, offset, data):
+        return self._inner.rma_put(src, dst, offset, data)
+
+    def rma_get(self, src, dst, offset, dtype, count):
+        return self._inner.rma_get(src, dst, offset, dtype, count)
+
+    def rma_atomic(self, src, dst, offset, dtype, op, operand):
+        return self._inner.rma_atomic(src, dst, offset, dtype, op, operand)
+
+    def rma_put_indexed(self, src, dst, base, elem_offsets, data):
+        return self._inner.rma_put_indexed(src, dst, base, elem_offsets,
+                                           data)
+
+    def rma_get_indexed(self, src, dst, base, dtype, elem_offsets):
+        return self._inner.rma_get_indexed(src, dst, base, dtype,
+                                           elem_offsets)
+
+    def rma_atomic_batch(self, src, dst, base, dtype, elem_offsets,
+                         op, operands, return_old=False):
+        return self._inner.rma_atomic_batch(
+            src, dst, base, dtype, elem_offsets, op, operands, return_old
+        )
 
     # -- conduit surface ---------------------------------------------------
     def send_am(self, src: int, dst: int, am: ActiveMessage) -> None:
@@ -90,7 +139,7 @@ class DelayConduit(SmpConduit):
                     return
                 due, _seq, dst, am = heapq.heappop(self._heap)
             try:
-                self._rank(dst).deliver(am)
+                self._inner.deliver_encoded(am.src_rank, dst, am)
             except Exception:  # world torn down mid-flight
                 return
 
@@ -120,9 +169,10 @@ class DelayConduit(SmpConduit):
             self._heap.clear()
         for _due, _seq, dst, am in stragglers:
             try:
-                self._rank(dst).deliver(am)
+                self._inner.deliver_encoded(am.src_rank, dst, am)
             except Exception:  # world already torn down
                 break
+        self._inner.close()
 
     @property
     def pending_messages(self) -> int:

@@ -1,0 +1,528 @@
+"""The process conduit: ranks are OS processes, segments live in
+``multiprocessing.shared_memory``, AMs cross Unix-domain socket pairs.
+
+This is the GASNet-style "different conduit, same runtime" split: the
+whole UPC++-layer stack (collectives, reliability, telemetry, tracing,
+distributed containers) runs unmodified because :class:`ProcConduit`
+implements the full abstract :class:`~repro.gasnet.conduit.Conduit`
+contract.
+
+Design
+------
+* **RMA is zero-copy.**  Every rank's segment is one shared-memory
+  block, created by the launcher before the fork and mapped in every
+  rank process.  A rank's :class:`~repro.gasnet.segment.Segment` is
+  built over a NumPy view of the mapping with a cross-process
+  ``multiprocessing.RLock``, so the exact
+  :class:`~repro.gasnet.smp.SegmentRma` code the SMP conduit uses —
+  including the indexed gather/scatter and batched-atomic fast paths —
+  works across processes with no serialization and no intermediate
+  copy.
+
+* **AMs ship as the PR-6 wire frames, not pickles.**  A send writes the
+  frame's struct-packed control bytes followed by its pickle-5
+  out-of-band buffers as length-prefixed raw byte spans; nothing is
+  re-encoded at the boundary.  Only the (rare) by-reference table is
+  pickled — and a by-reference payload that cannot be pickled raises a
+  clear :class:`~repro.errors.SerializationError` at the sender instead
+  of delivering a dangling reference.
+
+* **Handler-id translation.**  Handler names are interned to 16-bit ids
+  per process in call order, so ids can diverge after the fork.  The
+  launcher interns every handler registered before the fork and records
+  that *agreed* prefix; ids above it are advertised to each peer with a
+  one-off ``DEF`` record before first use, and the receiver rewrites
+  the id field (outer header and any nested reliability envelope)
+  in-place to its local id before the frame is thawed.
+
+The conduit only ever *sends from* its own rank; peer
+:class:`~repro.core.world.RankState` objects in a rank process are
+directory stubs whose shared-memory segments are real but whose inboxes
+are never used (remote delivery happens in the remote process).
+"""
+
+from __future__ import annotations
+
+import errno
+import itertools
+import os
+import pickle
+import selectors
+import socket
+import struct
+import threading
+
+import numpy as np
+from multiprocessing import get_context, shared_memory
+
+from repro.errors import PgasError, SerializationError, TransientCommError
+from repro.gasnet.am import ActiveMessage, am_handler, handler_registry
+from repro.gasnet.conduit import Conduit, ConduitCaps
+from repro.gasnet.segment import Segment
+from repro.gasnet.smp import SegmentRma
+from repro.gasnet.wire.frame import (
+    CODEC_NESTED_AM,
+    F_HAS_REFS,
+    F_USED_PICKLE,
+    HEADER,
+    Frame,
+    _handler_names,
+    handler_code,
+    handler_name,
+)
+
+PROC_CAPS = ConduitCaps(
+    cross_process=True,
+    supports_kill_rank=True,
+    in_process_hooks=False,
+    zero_copy_rma=True,
+    needs_launcher=True,
+)
+
+# -- socket message framing --------------------------------------------------
+#
+# Every message starts with one type byte.  FRAME carries one wire
+# frame: <III> (ctrl_len, nbufs, refs_len) + nbufs u64 buffer lengths,
+# then the raw control bytes, the raw buffer spans, and the pickled
+# by-reference table.  DEF advertises one interned handler id:
+# <HH> (hid, name_len) + the UTF-8 name.
+
+MSG_FRAME = 0
+MSG_DEF = 1
+
+_FRAME_HDR = struct.Struct("<III")
+_DEF_HDR = struct.Struct("<HH")
+_U16 = struct.Struct("<H")
+_NESTED_META = 20  # _5I splice prefix before a nested frame's ctrl
+
+_fabric_ids = itertools.count(1)
+
+
+def _handler_sites(ctrl) -> list[int]:
+    """Byte offsets of every interned handler-id field in a control
+    stream: the outer header's, plus — when the payload is a nested
+    reliability envelope — each spliced inner frame's, recursively."""
+    sites = []
+    start = 0
+    while True:
+        (_ver, _flags, codec_id, _hid, _src, _tok, _aux, _nbuf,
+         args_len, _meta_len) = HEADER.unpack_from(ctrl, start)
+        sites.append(start + 4)  # handler id at header offset 4
+        if codec_id != CODEC_NESTED_AM:
+            return sites
+        start = start + HEADER.size + args_len + _NESTED_META
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytearray:
+    """Read exactly ``n`` bytes; raises if the peer closes mid-message."""
+    buf = bytearray(n)
+    with memoryview(buf) as mv:
+        got = 0
+        while got < n:
+            k = sock.recv_into(mv[got:], n - got)
+            if k == 0:
+                raise ConnectionResetError(
+                    "proc conduit: peer closed mid-message"
+                )
+            got += k
+    return buf
+
+
+def _buf_span(b):
+    """A sendable view of an out-of-band buffer table entry."""
+    if isinstance(b, (bytes, bytearray, memoryview)):
+        return b
+    return memoryview(b)  # e.g. pickle.PickleBuffer
+
+
+class ProcFabric:
+    """Everything the launcher builds *before* forking the ranks.
+
+    Shared-memory segment blocks, cross-process segment locks, the
+    full-mesh AM socket pairs, and one bootstrap socket pair per rank.
+    File descriptors and lock handles reach the rank processes by fork
+    inheritance; :meth:`child_setup` closes the ends a rank does not
+    own so peer-exit EOFs propagate and no fd leaks outlive the world.
+    """
+
+    def __init__(self, n_ranks: int, segment_size: int):
+        self.n_ranks = n_ranks
+        self.segment_size = segment_size
+        self.uid = f"{os.getpid()}_{next(_fabric_ids)}"
+        self.ctx = get_context("fork")
+        self.locks = [self.ctx.RLock() for _ in range(n_ranks)]
+        self.shms: list[shared_memory.SharedMemory] = []
+        try:
+            for r in range(n_ranks):
+                self.shms.append(shared_memory.SharedMemory(
+                    name=f"repro_{self.uid}_r{r}", create=True,
+                    size=segment_size,
+                ))
+        except BaseException:
+            self.destroy()
+            raise
+        #: mesh[(i, j)] for i < j: (rank i's end, rank j's end).
+        self.mesh: dict[tuple[int, int],
+                        tuple[socket.socket, socket.socket]] = {}
+        for i in range(n_ranks):
+            for j in range(i + 1, n_ranks):
+                self.mesh[(i, j)] = socket.socketpair()
+        #: boot[r]: (parent end, rank r's end) — ready/go handshake,
+        #: death/failure broadcasts, and the rank's final result.
+        self.boot = [socket.socketpair() for _ in range(n_ranks)]
+        # Intern every handler registered so far, so the forked
+        # processes share one agreed id prefix; ids past this point
+        # are per-process and need DEF advertisement on the wire.
+        for name in sorted(handler_registry):
+            handler_code(name)
+        handler_code("__reply__")
+        self.agreed_handlers = len(_handler_names)
+
+    # -- fd hygiene ------------------------------------------------------
+    def child_setup(self, rank: int) -> None:
+        """Called first thing in a rank process: keep only this rank's
+        socket ends."""
+        for (i, j), (a, b) in self.mesh.items():
+            if i == rank:
+                b.close()
+            elif j == rank:
+                a.close()
+            else:
+                a.close()
+                b.close()
+        for r, (parent_end, child_end) in enumerate(self.boot):
+            parent_end.close()
+            if r != rank:
+                child_end.close()
+
+    def parent_setup(self) -> None:
+        """Called in the launcher after the forks: close the rank ends."""
+        for a, b in self.mesh.values():
+            a.close()
+            b.close()
+        for _parent_end, child_end in self.boot:
+            child_end.close()
+
+    def mesh_for(self, rank: int) -> dict[int, socket.socket]:
+        socks = {}
+        for (i, j), (a, b) in self.mesh.items():
+            if i == rank:
+                socks[j] = a
+            elif j == rank:
+                socks[i] = b
+        return socks
+
+    def boot_child(self, rank: int) -> socket.socket:
+        return self.boot[rank][1]
+
+    def boot_parent(self, rank: int) -> socket.socket:
+        return self.boot[rank][0]
+
+    # -- segments --------------------------------------------------------
+    def make_segment(self, rank: int, size: int) -> Segment:
+        """Segment factory handed to :class:`~repro.core.world.World`:
+        every rank's segment is a view of its shared-memory block, so
+        RMA against *any* rank is a direct mapped access."""
+        if size != self.segment_size:
+            raise PgasError(
+                f"proc fabric built for segment_size={self.segment_size}, "
+                f"world asked for {size}"
+            )
+        buf = np.frombuffer(self.shms[rank].buf, dtype=np.uint8)
+        return Segment(size, rank=rank, buf=buf, lock=self.locks[rank])
+
+    def destroy(self) -> None:
+        """Launcher-side teardown: close every fd, unlink the blocks."""
+        for pair in list(getattr(self, "mesh", {}).values()):
+            for s in pair:
+                try:
+                    s.close()
+                except OSError:
+                    pass
+        for pair in getattr(self, "boot", []):
+            for s in pair:
+                try:
+                    s.close()
+                except OSError:
+                    pass
+        for shm in self.shms:
+            try:
+                shm.close()
+            except (OSError, BufferError):
+                pass
+            try:
+                shm.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+        self.shms = []
+
+
+class ProcConduit(SegmentRma, Conduit):
+    """Processes-as-ranks conduit over a pre-forked :class:`ProcFabric`.
+
+    Exists only inside a rank process (``caps.needs_launcher``); the
+    launcher (:mod:`repro.core.proclaunch`) builds one per rank.
+    """
+
+    caps = PROC_CAPS
+
+    def __init__(self, fabric: ProcFabric, rank: int):
+        self.world = None
+        self.fabric = fabric
+        self.local_rank = rank
+        #: Test hook: when set, the next send_am raises (fault injection).
+        self.fail_next_am: Exception | None = None
+        self._socks = fabric.mesh_for(rank)
+        self._send_locks = {p: threading.Lock() for p in self._socks}
+        self._advertised: dict[int, set[int]] = {
+            p: set() for p in self._socks}
+        self._peer_names: dict[int, dict[int, str]] = {
+            p: {} for p in self._socks}
+        self._agreed = fabric.agreed_handlers
+        self._closing = False
+        self._recv_thread: threading.Thread | None = None
+        # Self-pipe so close() can wake the receiver out of select().
+        self._wake_r, self._wake_w = socket.socketpair()
+        #: Wire-level counters (the conformance suite's no-pickle /
+        #: no-frame assertions read these).
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    # -- lifecycle -------------------------------------------------------
+    def attach(self, world) -> None:
+        super().attach(world)
+        self._recv_thread = threading.Thread(
+            target=self._recv_main,
+            name=f"proc-recv-{self.local_rank}", daemon=True,
+        )
+        self._recv_thread.start()
+
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self._wake_w.send(b"x")
+        except OSError:
+            pass
+        t = self._recv_thread
+        if t is not None:
+            t.join(timeout=5.0)
+            self._recv_thread = None
+        for s in self._socks.values():
+            try:
+                s.close()
+            except OSError:
+                pass
+        for s in (self._wake_r, self._wake_w):
+            try:
+                s.close()
+            except OSError:
+                pass
+
+    # -- active messages -------------------------------------------------
+    def send_am(self, src: int, dst: int, am: ActiveMessage) -> None:
+        if self.fail_next_am is not None:
+            exc, self.fail_next_am = self.fail_next_am, None
+            raise exc
+        target = self._rank(dst)
+        frame = self._encode_and_record(src, am)
+        if dst == self.local_rank:
+            target.deliver(am)  # loopback: no wire
+            return
+        self._send_frame(dst, frame)
+
+    def deliver_encoded(self, src: int, dst: int,
+                        am: ActiveMessage) -> None:
+        from repro.gasnet.wire import encode_am
+
+        if dst == self.local_rank:
+            self._rank(dst).deliver(am)
+            return
+        self._rank(dst)
+        self._send_frame(dst, encode_am(am))
+
+    def _send_frame(self, dst: int, frame: Frame) -> None:
+        ctrl = frame.ctrl
+        bufs = frame.buffers
+        refs_blob = b""
+        if frame.refs:
+            try:
+                refs_blob = pickle.dumps(frame.refs, protocol=5)
+            except Exception as exc:
+                raise SerializationError(
+                    f"active message carries {len(frame.refs)} "
+                    f"by-reference payload(s) that cannot cross a "
+                    f"process boundary on the proc conduit "
+                    f"(pickling failed: {exc}); pass by-value-"
+                    f"encodable data instead"
+                ) from None
+        spans = [_buf_span(b) for b in bufs]
+        head = bytearray()
+        head += bytes((MSG_FRAME,))
+        head += _FRAME_HDR.pack(len(ctrl), len(spans), len(refs_blob))
+        for mv in spans:
+            n = mv.nbytes if isinstance(mv, memoryview) else len(mv)
+            head += struct.pack("<Q", n)
+        head += ctrl
+        sock = self._socks.get(dst)
+        if sock is None:
+            raise PgasError(
+                f"proc conduit: no wire to rank {dst} "
+                f"(local rank {self.local_rank})"
+            )
+        try:
+            with self._send_locks[dst]:
+                self._advertise_locked(dst, sock, ctrl)
+                sock.sendall(head)
+                for mv in spans:
+                    sock.sendall(mv)
+                if refs_blob:
+                    sock.sendall(refs_blob)
+        except OSError as exc:
+            self._send_error(dst, exc)
+            return
+        self.frames_sent += 1
+
+    def _advertise_locked(self, dst: int, sock: socket.socket,
+                          ctrl) -> None:
+        """Send DEF records for any post-fork handler id in ``ctrl`` the
+        peer has not seen yet (caller holds the send lock, so a DEF
+        always precedes the first frame that uses its id)."""
+        seen = self._advertised[dst]
+        for site in _handler_sites(ctrl):
+            hid = _U16.unpack_from(ctrl, site)[0]
+            if hid < self._agreed or hid in seen:
+                continue
+            name = handler_name(hid).encode("utf-8")
+            sock.sendall(bytes((MSG_DEF,))
+                         + _DEF_HDR.pack(hid, len(name)) + name)
+            seen.add(hid)
+
+    def _send_error(self, dst: int, exc: OSError) -> None:
+        """A send hit a closed socket: benign during shutdown or when
+        the peer already finished; a comm error otherwise."""
+        if self._closing:
+            return
+        world = self.world
+        if world is not None and 0 <= dst < world.n_ranks:
+            rk = world.ranks[dst]
+            if rk.done or rk.dead or rk.body_done:
+                return  # trailing chatter to a finished/dead peer
+        if exc.errno in (errno.EPIPE, errno.ECONNRESET, errno.ESHUTDOWN,
+                         errno.ENOTCONN):
+            # On a socketpair these mean exactly one thing: the peer
+            # process is gone.  Drop the frame and let the launcher's
+            # peer_dead broadcast surface the death as RankDead — a
+            # racing send must not mask it as a comm error.
+            return
+        raise TransientCommError(
+            f"proc conduit: send {self.local_rank}->{dst} failed: {exc}"
+        ) from exc
+
+    # -- receive side ----------------------------------------------------
+    def _recv_main(self) -> None:
+        sel = selectors.DefaultSelector()
+        sel.register(self._wake_r, selectors.EVENT_READ, None)
+        for p, s in self._socks.items():
+            sel.register(s, selectors.EVENT_READ, p)
+        open_peers = set(self._socks)
+        try:
+            while not self._closing:
+                for key, _ in sel.select(timeout=0.25):
+                    peer = key.data
+                    if peer is None:
+                        return  # woken by close()
+                    try:
+                        if not self._recv_one(peer, key.fileobj):
+                            sel.unregister(key.fileobj)
+                            open_peers.discard(peer)
+                    except OSError:
+                        if self._closing:
+                            return
+                        sel.unregister(key.fileobj)
+                        open_peers.discard(peer)
+                    except BaseException as exc:
+                        if self._closing:
+                            return
+                        if self.world is not None:
+                            self.world.fail(self.local_rank, exc)
+                        return
+                if not open_peers:
+                    return
+        finally:
+            sel.close()
+
+    def _recv_one(self, peer: int, sock: socket.socket) -> bool:
+        """Read one message; returns False on a clean peer EOF."""
+        first = sock.recv(1)
+        if not first:
+            return False
+        kind = first[0]
+        if kind == MSG_DEF:
+            hid, nlen = _DEF_HDR.unpack(bytes(
+                _recv_exact(sock, _DEF_HDR.size)))
+            name = bytes(_recv_exact(sock, nlen)).decode("utf-8")
+            self._peer_names[peer][hid] = name
+            return True
+        if kind != MSG_FRAME:
+            raise PgasError(
+                f"proc conduit: bad message type {kind} from rank {peer}"
+            )
+        ctrl_len, nbufs, refs_len = _FRAME_HDR.unpack(bytes(
+            _recv_exact(sock, _FRAME_HDR.size)))
+        lens = ()
+        if nbufs:
+            lens = struct.unpack(
+                f"<{nbufs}Q", bytes(_recv_exact(sock, 8 * nbufs)))
+        ctrl = _recv_exact(sock, ctrl_len)
+        # Writable bytearrays: the ndarray codec's zero-copy decode
+        # (np.frombuffer) yields writable arrays over them, matching
+        # the SMP conduit's by-value delivery semantics.
+        buffers = [_recv_exact(sock, n) for n in lens]
+        refs: list = []
+        if refs_len:
+            refs = pickle.loads(bytes(_recv_exact(sock, refs_len)))
+        self._translate(peer, ctrl)
+        flags = ctrl[1]
+        frame = Frame(
+            ctrl, buffers, refs, ctrl_len + sum(lens),
+            bool(flags & F_USED_PICKLE), bool(flags & F_HAS_REFS),
+            pooled=False,
+        )
+        shell = ActiveMessage(handler="", src_rank=peer)
+        shell._frame = frame
+        shell._wire_bytes = frame.nbytes
+        self.frames_received += 1
+        if self.world is not None:
+            self.world.ranks[self.local_rank].deliver(shell)
+        return True
+
+    def _translate(self, peer: int, ctrl: bytearray) -> None:
+        """Rewrite post-fork handler ids to this process's ids."""
+        names = self._peer_names[peer]
+        for site in _handler_sites(ctrl):
+            hid = _U16.unpack_from(ctrl, site)[0]
+            if hid < self._agreed:
+                continue
+            name = names.get(hid)
+            if name is None:
+                raise PgasError(
+                    f"proc conduit: rank {peer} used handler id {hid} "
+                    f"without advertising it"
+                )
+            lid = handler_code(name)
+            if lid != hid:
+                _U16.pack_into(ctrl, site, lid)
+
+
+@am_handler("__proc_done__")
+def _proc_done_handler(ctx, am: ActiveMessage) -> None:
+    """Survivable-death finalize across processes: a rank whose SPMD
+    body returned broadcasts this so peers' directory stubs show it
+    done-not-dead (the thread backend reads the flag from shared state;
+    here it must cross the wire)."""
+    world = ctx.world
+    if 0 <= am.src_rank < world.n_ranks:
+        peer = world.ranks[am.src_rank]
+        peer.body_done = True
+        peer.done = True
+    world.poke_all()

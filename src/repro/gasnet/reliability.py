@@ -187,6 +187,13 @@ class ReliableConduit(Conduit):
             raise AttributeError(name)
         return getattr(self.__dict__["_inner"], name)
 
+    @property
+    def caps(self):
+        # The Conduit base class defines ``caps`` as a class attribute,
+        # which would shadow __getattr__ delegation — forward explicitly
+        # so capability checks see through the wrapper.
+        return self._inner.caps
+
     # -- helpers -----------------------------------------------------------
     def _deadline_for(self, now: float) -> float:
         limit = self.cfg.op_deadline
@@ -420,7 +427,11 @@ class ReliableConduit(Conduit):
             world.ranks[e.src].deliver(err)
 
     def _send_heartbeats(self, world) -> None:
+        # Only ranks executing in this process originate pings: on the
+        # proc backend a rank must not impersonate its remote peers.
         for i in range(world.n_ranks):
+            if not world.is_local(i):
+                continue
             if world.ranks[i].done or world.ranks[i].dead:
                 continue
             for j in range(world.n_ranks):
@@ -438,6 +449,10 @@ class ReliableConduit(Conduit):
         now = time.monotonic()
         timeout = self.cfg.peer_timeout
         for r in range(world.n_ranks):
+            if world.local_ranks is not None and r in world.local_ranks:
+                # Local ranks never ping themselves; their liveness is
+                # the world heartbeat detector's job, not ours.
+                continue
             rk = world.ranks[r]
             if rk.done:
                 self._last_heard[r] = now  # finished ≠ failed

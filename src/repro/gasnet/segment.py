@@ -38,15 +38,38 @@ class Segment:
         Segment capacity in bytes.
     rank:
         Owning rank (used only for error messages).
+    buf:
+        Optional externally owned storage (a writable ``uint8`` array of
+        exactly ``size`` bytes).  The process conduit passes a NumPy view
+        over a ``multiprocessing.shared_memory`` block here, so every
+        process maps the *same* physical segment and RMA stays zero-copy
+        across processes.  The caller guarantees initial contents
+        (shared-memory blocks are zero-filled, matching the private
+        ``np.zeros`` default).
+    lock:
+        Optional externally owned lock guarding raw access.  Must support
+        the context-manager protocol and reentrancy; the process conduit
+        passes a ``multiprocessing.RLock`` so atomics serialize across
+        processes, not just across threads.
     """
 
-    def __init__(self, size: int, rank: int = -1):
+    def __init__(self, size: int, rank: int = -1, buf: np.ndarray | None = None,
+                 lock=None):
         if size <= 0:
             raise ValueError("segment size must be positive")
         self.size = int(size)
         self.rank = rank
-        self.buf = np.zeros(self.size, dtype=np.uint8)
-        self.lock = threading.RLock()
+        if buf is None:
+            buf = np.zeros(self.size, dtype=np.uint8)
+        else:
+            buf = buf.view(np.uint8).reshape(-1)
+            if buf.nbytes != self.size:
+                raise ValueError(
+                    f"external segment buffer is {buf.nbytes} bytes, "
+                    f"expected {self.size}"
+                )
+        self.buf = buf
+        self.lock = lock if lock is not None else threading.RLock()
         # Free list: sorted list of (offset, length) of free holes.
         self._free: list[tuple[int, int]] = [(0, self.size)]
         # Live allocations: offset -> length (as returned to caller).

@@ -5,6 +5,12 @@ segment buffer — a faithful model of RDMA (the target CPU executes
 nothing).  Active messages are appended to the target's inbox deque and
 its condition variable is signalled so blocked waiters wake up.
 
+:class:`SegmentRma` factors the direct-segment RMA implementation out of
+the conduit itself: any backend whose world maps *every* rank's segment
+into the calling process (threads over one heap, or processes over
+``multiprocessing.shared_memory``) reuses it unchanged — which is what
+keeps the process conduit's RMA zero-copy.
+
 Optional fault injection (:attr:`SmpConduit.fail_next_am`) lets tests
 exercise the failure-propagation paths without contriving real crashes.
 """
@@ -13,51 +19,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import PgasError
 from repro.gasnet.am import ActiveMessage
 from repro.gasnet.conduit import Conduit
-from repro.gasnet.wire import encode_am
 
 
-class SmpConduit(Conduit):
-    """Threads-as-ranks conduit (the default real executor)."""
+class SegmentRma:
+    """Direct-segment one-sided RMA, shared by conduits whose process
+    has every rank's segment mapped locally.
 
-    def __init__(self) -> None:
-        self.world = None
-        #: Test hook: when set, the next send_am raises (fault injection).
-        self.fail_next_am: Exception | None = None
+    One conduit call + one target-lock acquisition per (batched) op: the
+    "wire" carries a whole index vector, modelling NIC gather/scatter.
+    Requires the :class:`~repro.gasnet.conduit.Conduit` ``_rank`` helper.
+    """
 
-    # ------------------------------------------------------------------
-    def _rank(self, r: int):
-        if self.world is None:
-            raise PgasError("conduit not attached to a world")
-        if not 0 <= r < self.world.n_ranks:
-            raise PgasError(
-                f"rank {r} out of range [0, {self.world.n_ranks})"
-            )
-        return self.world.ranks[r]
-
-    # -- active messages ------------------------------------------------
-    def _encode_and_record(self, src: int, am: ActiveMessage):
-        """Encode ``am`` into its wire frame and charge the sender's
-        stats.  Every conduit send path (smp, chaos, delay) funnels
-        through here so the frame exists before delivery and the
-        fixed-layout hit rate is observable."""
-        rank = self._rank(src)
-        frame = encode_am(am, rank.telemetry)
-        rank.stats.record_am(frame.nbytes)
-        rank.stats.record_wire(frame.used_pickle, frame.has_refs)
-        return frame
-
-    def send_am(self, src: int, dst: int, am: ActiveMessage) -> None:
-        if self.fail_next_am is not None:
-            exc, self.fail_next_am = self.fail_next_am, None
-            raise exc
-        target = self._rank(dst)
-        self._encode_and_record(src, am)
-        target.deliver(am)
-
-    # -- one-sided RMA ---------------------------------------------------
     def rma_put(self, src: int, dst: int, offset: int,
                 data: np.ndarray) -> None:
         target = self._rank(dst)
@@ -77,10 +51,6 @@ class SmpConduit(Conduit):
         target = self._rank(dst)
         self._rank(src).stats.record_atomic()
         return target.segment.atomic_update(offset, dtype, op, operand)
-
-    # -- indexed bulk RMA -------------------------------------------------
-    # One conduit call + one target-lock acquisition per batch: the
-    # "wire" carries a whole index vector, modelling NIC gather/scatter.
 
     def rma_put_indexed(self, src: int, dst: int, base: int,
                         elem_offsets: np.ndarray, data: np.ndarray) -> None:
@@ -109,3 +79,25 @@ class SmpConduit(Conduit):
         return target.segment.atomic_batch_update(
             base, dtype, elem_offsets, op, operands, return_old
         )
+
+
+class SmpConduit(SegmentRma, Conduit):
+    """Threads-as-ranks conduit (the default real executor)."""
+
+    def __init__(self) -> None:
+        self.world = None
+        #: Test hook: when set, the next send_am raises (fault injection).
+        self.fail_next_am: Exception | None = None
+
+    # -- active messages ------------------------------------------------
+    def send_am(self, src: int, dst: int, am: ActiveMessage) -> None:
+        if self.fail_next_am is not None:
+            exc, self.fail_next_am = self.fail_next_am, None
+            raise exc
+        target = self._rank(dst)
+        self._encode_and_record(src, am)
+        target.deliver(am)
+
+    def deliver_encoded(self, src: int, dst: int,
+                        am: ActiveMessage) -> None:
+        self._rank(dst).deliver(am)

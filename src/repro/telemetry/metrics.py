@@ -299,9 +299,12 @@ class MetricsSampler(threading.Thread):
         if rc is not None:
             for (src, _dst, _seq) in list(rc._unacked):
                 unacked_by_src[src] = unacked_by_src.get(src, 0) + 1
+        local = getattr(world, "local_ranks", None)
         for ctx in world.ranks:
             if ctx.rank in world.dead_ranks:
                 continue
+            if local is not None and ctx.rank not in local:
+                continue  # proc backend: remote stubs have no metrics
             tel = ctx.telemetry
             m = tel.metrics
             depth = len(ctx.task_queue)

@@ -121,6 +121,10 @@ def test_lookup_all_gathers_every_slot():
         before = ctx.stats.snapshot()["ams_sent"]
         assert d.lookup_all() == [("slot", r) for r in range(repro.ranks())]
         assert ctx.stats.snapshot()["ams_sent"] == before
+        # All first-round lookups must land before anyone republishes:
+        # a fast rank republishing while a slow rank is still issuing
+        # its first lookup_all would hand the slow rank "fresh" early.
+        repro.barrier()
         # cached=False refetches the live slots.
         d.publish(("fresh", me))
         repro.barrier()
