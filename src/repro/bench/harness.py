@@ -848,6 +848,170 @@ def export_conduits(path: str, ranks: int = 4,
     return out
 
 
+def _bench_ping_handler(ctx, am) -> None:
+    ctx.reply(am)
+
+
+def _register_bench_ping() -> None:
+    """Register the ping handler exactly once (import-time, so the proc
+    launcher interns it into the pre-fork agreed handler prefix)."""
+    from repro.gasnet.am import am_handler, handler_registry
+
+    if "__bench_ping__" not in handler_registry:
+        am_handler("__bench_ping__")(_bench_ping_handler)
+
+
+_register_bench_ping()
+
+
+def _am_lat_body(iters: int, warmup: int):
+    """SPMD body for the AM ping-pong microbench: rank 0 round-trips a
+    handler-level AM to rank 1 (reply sent from inside the handler, so
+    the measurement is the AM substrate, not the async-task machinery)."""
+    import time as _time
+
+    import repro
+    from repro.core import world as _w
+
+    r = repro.myrank()
+    repro.barrier()
+    ctx = _w._tls.ctx
+    lats: list[float] = []
+    if r == 0:
+        for _ in range(warmup):
+            ctx.send_am(1, "__bench_ping__", expect_reply=True).get()
+        for _ in range(iters):
+            t0 = _time.perf_counter()
+            ctx.send_am(1, "__bench_ping__", expect_reply=True).get()
+            lats.append(_time.perf_counter() - t0)
+    repro.barrier()
+    ring = {k: v for k, v in ctx.stats.snapshot().items()
+            if k.startswith("wire_ring_")}
+    return lats, ring
+
+
+def _lat_summary(lats: list[float]) -> dict:
+    lats = sorted(lats)
+    n = len(lats)
+    return {
+        "samples": n,
+        "p50_us": lats[n // 2] * 1e6,
+        "p90_us": lats[min(n - 1, int(n * 0.90))] * 1e6,
+        "p99_us": lats[min(n - 1, int(n * 0.99))] * 1e6,
+        "mean_us": sum(lats) / n * 1e6,
+    }
+
+
+def export_am_lat(path: str, iters: int = 500, warmup: int = 50,
+                  ranks: int = 4, log2_table_size: int = 10,
+                  updates_per_rank: int = 1024,
+                  kv_keys: int = 1024, kv_ops: int = 600,
+                  reps: int = 5) -> dict:
+    """AM round-trip latency per transport + conduit comparison ->
+    ``BENCH_10.json``.
+
+    The ping-pong runs at 2 ranks (one directed pair — latency, not
+    contention); the GUPS/KV comparison runs at ``ranks`` over smp,
+    proc+ring, and proc+socket so the ring transport's win (or, on a
+    starved machine, its honest non-win) is attributable.  As with
+    BENCH_9, ``cpu_count`` is recorded: the proc-vs-smp *throughput*
+    comparison only means something with cores to run on, while the
+    ring-vs-socket *latency* comparison holds on any machine.
+    """
+    import json
+    import os as _os
+
+    import repro
+    from repro.bench import gups, kv_workload
+
+    cpus = _os.cpu_count() or 1
+    out: dict = {
+        "benchmark": "am_latency_and_conduits",
+        "config": {
+            "iters": iters, "warmup": warmup, "lat_ranks": 2,
+            "ranks": ranks, "log2_table_size": log2_table_size,
+            "updates_per_rank": updates_per_rank,
+            "kv_keys": kv_keys, "kv_ops_per_rank": kv_ops, "reps": reps,
+        },
+        "cpu_count": cpus,
+        "am_lat": {},
+        "conduits": {},
+    }
+    for name in ("smp", "proc+ring", "proc+socket"):
+        # Median across repetitions (latency convention: a lucky rep
+        # must not define a transport's number), percentile tails from
+        # the median rep.
+        summaries = []
+        ring_counters: dict = {}
+        for _ in range(reps):
+            results = repro.spmd(_am_lat_body, ranks=2,
+                                 args=(iters, warmup), conduit=name,
+                                 timeout=300.0)
+            lats, ring = results[0]
+            summaries.append(_lat_summary(lats))
+            ring_counters = ring
+        summaries.sort(key=lambda s: s["p50_us"])
+        entry = dict(summaries[len(summaries) // 2])
+        entry["rep_p50s_us"] = [s["p50_us"] for s in summaries]
+        if name == "proc+ring":
+            entry["ring_counters"] = ring_counters
+        out["am_lat"][name] = entry
+    # Throughput runs are best-of (not median), so extra reps only add
+    # wall time; cap them while the latency medians get the full count.
+    tp_reps = min(reps, 3)
+    for name in ("smp", "proc+ring", "proc+socket"):
+        best_g = None
+        for _ in range(tp_reps):
+            g = gups.run(ranks=ranks, log2_table_size=log2_table_size,
+                         updates_per_rank=updates_per_rank,
+                         variant="upcxx", conduit=name)
+            if best_g is None or g.seconds < best_g.seconds:
+                best_g = g
+        best_kv = None
+        for _ in range(tp_reps):
+            kv = kv_workload.run(ranks=ranks, keys=kv_keys,
+                                 ops_per_rank=kv_ops,
+                                 microbench_keys=200, conduit=name)
+            if best_kv is None or kv.ops_per_sec > best_kv.ops_per_sec:
+                best_kv = kv
+        out["conduits"][name] = {
+            "gups": {
+                "seconds": best_g.seconds,
+                "updates_per_sec": best_g.gups * 1e9,
+                "verified": best_g.verified,
+            },
+            "kv": {
+                "ops_per_sec": best_kv.ops_per_sec,
+                "get_p50_us": best_kv.get_p50_us,
+                "get_p99_us": best_kv.get_p99_us,
+                "verified": best_kv.verified,
+            },
+        }
+    ring_p50 = out["am_lat"]["proc+ring"]["p50_us"]
+    sock_p50 = out["am_lat"]["proc+socket"]["p50_us"]
+    smp_gups = out["conduits"]["smp"]["gups"]["updates_per_sec"]
+    ring_gups = out["conduits"]["proc+ring"]["gups"]["updates_per_sec"]
+    out["speedups"] = {
+        "ring_am_p50_vs_socket": sock_p50 / ring_p50 if ring_p50 else 0.0,
+        "ring_gups_vs_smp": ring_gups / smp_gups if smp_gups else 0.0,
+    }
+    with open(path, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {path} (cpu_count={cpus})")
+    for name, e in out["am_lat"].items():
+        print(f"  {name:<12} am rtt p50 {e['p50_us']:8.1f} us  "
+              f"p99 {e['p99_us']:8.1f} us")
+    for name, e in out["conduits"].items():
+        print(f"  {name:<12} gups {e['gups']['updates_per_sec']:10.0f} "
+              f"updates/s  kv {e['kv']['ops_per_sec']:8.0f} ops/s")
+    s = out["speedups"]
+    print(f"  ring vs socket am p50: x{s['ring_am_p50_vs_socket']:.2f}; "
+          f"ring vs smp gups: x{s['ring_gups_vs_smp']:.2f}"
+          + ("  (1 core: no parallel win expected)" if cpus < 2 else ""))
+    return out
+
+
 def export_perfetto(path: str, ranks: int = 4,
                     keys_per_rank: int = 2048) -> None:
     """4-rank sample sort -> Chrome/Perfetto ``trace_event`` JSON.
@@ -947,21 +1111,30 @@ def main(argv=None) -> int:
                              "chaos, write trace/flow counts and the "
                              "tracing-overhead microbench as JSON plus "
                              "a Perfetto flow trace alongside")
-    parser.add_argument("--conduit", choices=("smp", "proc"), default=None,
+    parser.add_argument("--conduit",
+                        choices=("smp", "proc", "proc+ring", "proc+socket"),
+                        default=None,
                         help="conduit backend for the conduit-parametric "
                              "runs (--validate-ranks GUPS, --kv): smp = "
                              "ranks as threads, proc = ranks as OS "
-                             "processes over shared memory")
+                             "processes over shared memory (+ring/+socket "
+                             "pins the proc AM transport)")
     parser.add_argument("--conduits", metavar="PATH",
                         help="run GUPS + KV over both the smp and proc "
                              "backends and write throughput plus the "
                              "proc/smp speedup ratios as JSON")
+    parser.add_argument("--am-lat", metavar="PATH", dest="am_lat",
+                        help="run the AM ping-pong latency microbench "
+                             "over smp/proc+ring/proc+socket plus the "
+                             "per-transport GUPS/KV comparison and write "
+                             "round-trip percentiles, ring counters and "
+                             "speedup ratios as JSON")
     args = parser.parse_args(argv)
     global _CHARTS
     _CHARTS = args.charts
     if (args.metrics or args.perfetto or args.kv or args.collectives
             or args.serde or args.failover or args.tracing
-            or args.conduits):
+            or args.conduits or args.am_lat):
         if args.metrics:
             export_metrics(args.metrics,
                            ranks=args.validate_ranks or 4)
@@ -974,6 +1147,9 @@ def main(argv=None) -> int:
         if args.conduits:
             export_conduits(args.conduits,
                             ranks=args.validate_ranks or 4)
+        if args.am_lat:
+            export_am_lat(args.am_lat,
+                          ranks=args.validate_ranks or 4)
         if args.collectives:
             export_collectives(args.collectives,
                                ranks=args.validate_ranks or 4)

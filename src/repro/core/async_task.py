@@ -114,9 +114,9 @@ class _AsyncCall:
                     )
             for target, fut in zip(targets, futures):
                 token = ctx.new_token()
+                fut._dst = target
                 with ctx._pending_lock:
                     ctx._pending[token] = fut
-                    ctx._pending_dst[token] = target
                 from repro.gasnet.am import ActiveMessage
 
                 am = ActiveMessage(

@@ -18,7 +18,8 @@ from repro.errors import PgasError
 class Future:
     """Completion handle for one async operation."""
 
-    __slots__ = ("_ctx", "_lock", "_done", "_value", "_exc", "_callbacks")
+    __slots__ = ("_ctx", "_lock", "_done", "_value", "_exc", "_callbacks",
+                 "_dst")
 
     def __init__(self, ctx):
         self._ctx = ctx
@@ -27,6 +28,9 @@ class Future:
         self._value: Any = None
         self._exc: Optional[BaseException] = None
         self._callbacks: list[Callable[["Future"], None]] = []
+        #: Destination rank of the request this future answers (set by
+        #: the AM layer; consulted by the death-time pending sweep).
+        self._dst = -1
 
     # -- completion (runtime side) --------------------------------------
     def set_result(self, value: Any) -> None:

@@ -287,11 +287,12 @@ def spmd_proc(
     heartbeat_period: float = 0.02,
     telemetry=None,
     survive_rank_death: bool = False,
+    transport: str | None = None,
 ) -> list:
     """Run ``fn`` on ``ranks`` OS processes over the proc conduit."""
     kwargs = kwargs or {}
     tel_cfg = _resolve_telemetry(telemetry)
-    fabric = ProcFabric(ranks, segment_size)
+    fabric = ProcFabric(ranks, segment_size, transport=transport)
     job = _Job(
         fabric=fabric, fn=fn, args=args, kwargs=kwargs, ranks=ranks,
         segment_size=segment_size, thread_mode=thread_mode,

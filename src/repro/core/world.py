@@ -35,6 +35,7 @@ from repro.errors import (
     RankDead,
 )
 from repro.core.coll_engine import CollEngine
+from repro.core.future import Future
 from repro.gasnet.am import ActiveMessage, handler_registry, make_reply
 from repro.gasnet.segment import Segment
 from repro.gasnet.smp import SmpConduit
@@ -105,8 +106,9 @@ class RankState:
         self._inbox: deque[ActiveMessage] = deque()
         self.task_queue: deque[_Task] = deque()
         self._pending_lock = threading.Lock()
-        self._pending: dict[int, Any] = {}  # token -> Future
-        self._pending_dst: dict[int, int] = {}  # token -> dst rank
+        # token -> Future; the future's ``_dst`` slot carries the
+        # destination rank (one dict on the send hot path, not two).
+        self._pending: dict[int, Any] = {}
         # token -> (t0 monotonic, handler, dst, trace_id); only fed when
         # telemetry is active — the straggler watchdog's work list.
         self._pending_meta: dict[int, tuple] = {}
@@ -148,6 +150,13 @@ class RankState:
             self._inbox.append(am)
             self._cv.notify_all()
 
+    def deliver_many(self, ams) -> None:
+        """Batch :meth:`deliver`: one lock acquisition and one wakeup
+        for a whole burst (e.g. every frame in one ring slot)."""
+        with self._cv:
+            self._inbox.extend(ams)
+            self._cv.notify_all()
+
     def new_token(self) -> int:
         return next(self._token_counter)
 
@@ -160,8 +169,6 @@ class RankState:
         expect_reply: bool = False,
     ):
         """Send an active message; optionally return a reply future."""
-        from repro.core.future import Future
-
         fut = None
         token = None
         trace_id = span_id = 0
@@ -173,9 +180,9 @@ class RankState:
         if expect_reply:
             token = self.new_token()
             fut = Future(self)
+            fut._dst = dst
             with self._pending_lock:
                 self._pending[token] = fut
-                self._pending_dst[token] = dst
             if self.telemetry.active:
                 self._pending_meta[token] = (
                     time.monotonic(), handler, dst, trace_id)
@@ -204,11 +211,10 @@ class RankState:
         this is the death-time sweep that rescues those waiters.
         """
         with self._pending_lock:
-            doomed = [t for t, d in self._pending_dst.items()
-                      if dst is None or d == dst]
+            doomed = [t for t, f in self._pending.items()
+                      if dst is None or f._dst == dst]
             futs = []
             for t in doomed:
-                self._pending_dst.pop(t, None)
                 self._pending_meta.pop(t, None)
                 f = self._pending.pop(t, None)
                 if f is not None:
@@ -218,8 +224,12 @@ class RankState:
 
     def reply(self, am: ActiveMessage, args: tuple = (),
               payload: Any = None) -> None:
-        """Send the reply for a request AM (used inside handlers)."""
-        self.stats.record_reply()
+        """Send the reply for a request AM (used inside handlers).
+
+        ``replies_sent`` is charged by the conduit layer (every send
+        funnels through ``_encode_and_record``, which sees the reply
+        flag) — not here — so the hot reply path pays one stats lock,
+        not two."""
         reply = make_reply(am, self.rank, args=args, payload=payload)
         self.world.conduit.send_am(self.rank, am.src_rank, reply)
 
@@ -227,7 +237,6 @@ class RankState:
                       payload: Any = None) -> None:
         """Reply to a previously stored (rank, token) pair — used by
         owner-queued structures such as global locks."""
-        self.stats.record_reply()
         trace_id = span_id = 0
         if self.telemetry.active:
             trace_id, span_id = tracing.current_ids()
@@ -273,6 +282,12 @@ class RankState:
             tel.histogram("advance").record_seconds(
                 time.perf_counter() - t0
             )
+        flush = self.world._am_flush
+        if flush is not None:
+            # Aggregating conduits (proc rings) publish pending sends at
+            # every progress point, so a request whose sender is about
+            # to block never idles in the aggregation buffer.
+            flush()
         return progressed
 
     def _handle(self, am: ActiveMessage) -> None:
@@ -301,8 +316,8 @@ class RankState:
             if am.is_reply:
                 with self._pending_lock:
                     fut = self._pending.pop(am.token, None)
-                    self._pending_dst.pop(am.token, None)
-                    self._pending_meta.pop(am.token, None)
+                    if self._pending_meta:
+                        self._pending_meta.pop(am.token, None)
                 if fut is None:
                     # Under the reliability layer a reply can legally
                     # arrive after the op's deadline already completed
@@ -352,7 +367,6 @@ class RankState:
         """Surface a handler exception: error reply when the sender
         waits for one, world failure otherwise."""
         if am.token is not None:
-            self.stats.record_reply()
             err = make_reply(am, self.rank, args=("__error__", exc))
             self.world.conduit.send_am(self.rank, am.src_rank, err)
         else:
@@ -431,6 +445,13 @@ class RankState:
             if pred():
                 return
             if not progressed:
+                # Conduit inbound fast path (proc rings): the blocked
+                # rank thread polls shared memory directly — on a busy
+                # pair the message is picked up here, with no recv
+                # thread wakeup and no syscalls on the critical path.
+                poll = self.world._am_poll
+                if poll is not None and poll():
+                    continue
                 with self._cv:
                     if not self._inbox and not pred():
                         self._cv.wait(0.001)
@@ -560,6 +581,12 @@ class World:
             # inner layers' trace_control events reach the flight ring.
             conduit = TelemetryConduit(conduit, self.telemetry)
         self.conduit = conduit
+        #: Conduit-installed hook (see ProcConduit.attach): flush any
+        #: sender-side AM aggregation; called from every advance().
+        self._am_flush: Callable[[], None] | None = None
+        #: Conduit-installed hook: poll inbound transport state from a
+        #: blocked rank thread (returns True when anything arrived).
+        self._am_poll: Callable[[], bool] | None = None
         self.ranks = [RankState(self, r, segment_size) for r in range(n_ranks)]
         self.conduit.attach(self)
         self._glock = threading.Lock()
@@ -867,6 +894,7 @@ def spmd(
             heartbeat_timeout=heartbeat_timeout,
             heartbeat_period=heartbeat_period, telemetry=telemetry,
             survive_rank_death=survive_rank_death,
+            transport=(backend.options or {}).get("transport"),
         )
     world = World(
         ranks, segment_size=segment_size, conduit=conduit,

@@ -44,7 +44,7 @@ def am_handler(name: str) -> Callable[[Callable], Callable]:
     return register
 
 
-@dataclass
+@dataclass(slots=True)
 class ActiveMessage:
     """One active message.
 

@@ -10,7 +10,8 @@ through the process launcher (:mod:`repro.core.proclaunch`).
 Selection precedence:
 
 1. a :class:`~repro.gasnet.conduit.Conduit` instance — used as-is;
-2. a backend name string (``"smp"``, ``"proc"``);
+2. a backend name string (``"smp"``, ``"proc"``, ``"proc+ring"``,
+   ``"proc+socket"``);
 3. ``None`` — the ``REPRO_CONDUIT`` environment variable if set,
    otherwise ``"smp"``.
 
@@ -41,15 +42,20 @@ class Backend:
     #: backends, whose conduits only exist inside the rank processes.
     factory: Optional[Callable[[], Conduit]]
     caps: ConduitCaps
+    #: Backend-specific knobs forwarded to the launcher (e.g. the proc
+    #: conduit's AM ``transport`` selection).
+    options: Optional[dict] = None
 
 
 _REGISTRY: dict[str, Backend] = {}
 
 
 def register_backend(name: str, factory: Optional[Callable[[], Conduit]],
-                     caps: ConduitCaps) -> Backend:
+                     caps: ConduitCaps,
+                     options: Optional[dict] = None) -> Backend:
     """Register (or replace) a named backend."""
-    backend = Backend(name=name, factory=factory, caps=caps)
+    backend = Backend(name=name, factory=factory, caps=caps,
+                      options=options)
     _REGISTRY[name] = backend
     return backend
 
@@ -97,10 +103,16 @@ def _register_builtins() -> None:
 
     register_backend("smp", SmpConduit, SmpConduit.caps)
     # The proc backend has no standalone factory: ProcConduit needs the
-    # launcher-built fabric (shared-memory blocks + socket mesh).
-    from repro.gasnet.proc import PROC_CAPS
+    # launcher-built fabric (shared-memory blocks + AM transport).
+    # "proc" picks the default transport (shared-memory rings, unless
+    # REPRO_PROC_TRANSPORT overrides); the +ring/+socket variants pin it.
+    from repro.gasnet.proc import PROC_CAPS, PROC_SOCKET_CAPS
 
     register_backend("proc", None, PROC_CAPS)
+    register_backend("proc+ring", None, PROC_CAPS,
+                     options={"transport": "ring"})
+    register_backend("proc+socket", None, PROC_SOCKET_CAPS,
+                     options={"transport": "socket"})
 
 
 _register_builtins()

@@ -64,6 +64,10 @@ class ConduitCaps:
     #: spmd() must go through the process launcher: the conduit cannot
     #: be instantiated standalone in the calling process.
     needs_launcher: bool = False
+    #: Active messages travel through shared-memory SPSC rings with
+    #: sender-side aggregation (:mod:`repro.gasnet.ring`) instead of a
+    #: kernel transport.
+    shm_rings: bool = False
 
 
 class Conduit(abc.ABC):
@@ -106,8 +110,9 @@ class Conduit(abc.ABC):
 
         rank = self._rank(src)
         frame = encode_am(am, rank.telemetry)
-        rank.stats.record_am(frame.nbytes)
-        rank.stats.record_wire(frame.used_pickle, frame.has_refs)
+        rank.stats.record_am_wire(
+            frame.nbytes, frame.used_pickle, frame.has_refs,
+            am.is_reply)
         return frame
 
     def deliver_encoded(self, src: int, dst: int,

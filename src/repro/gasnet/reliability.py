@@ -268,6 +268,11 @@ class ReliableConduit(Conduit):
         if src == dst:  # loopback is reliable; skip the protocol
             self._inner.send_am(src, dst, am)
             return
+        if am.is_reply and self.world is not None:
+            # Replies are charged where the conduit sees the reply flag;
+            # here the inner conduit only ever sees the data envelope,
+            # so the counter must be fed before wrapping.
+            self.world.ranks[src].stats.record_reply()
         if dst in self._dead_peers:
             # Fail fast instead of queueing for a peer that can never
             # ack: token AMs get an immediate RankDead error reply,

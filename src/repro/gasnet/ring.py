@@ -1,0 +1,203 @@
+"""SPSC shared-memory message rings for the proc conduit.
+
+One :class:`Ring` region per *directed* rank pair carries the byte
+stream of AM wire messages (the exact bytes the socketpair fallback
+would write) through shared memory instead of the kernel: GASNet's smp
+conduit move, applied to the PR-6 frame format.
+
+Layout of one region (all offsets relative to the region base)::
+
+    +0    tail         u64, producer-owned   slots published
+    +64   head         u64, consumer-owned   slots consumed
+    +128  spill_alloc  u64, producer-owned   spill bytes allocated
+    +192  spill_free   u64, consumer-owned   spill bytes released
+    +256  slots        nslots * slot_bytes
+    +...  spill        spill_bytes           OOB overflow region
+
+Each fixed-size slot is ``<u32 inline_len, u32 spill_len, u64
+spill_off>`` followed by ``inline_len`` payload bytes; when a slot's
+logical chunk is larger than the inline capacity the remainder lives at
+``spill_off`` in the spill region.  The consumer reassembles the per-pair
+byte stream as ``inline bytes + spill bytes`` per slot, in slot order,
+so a message larger than one slot simply spans several slots — no size
+limit, and FIFO is structural.
+
+The cursors are monotonically increasing 64-bit counters written with
+``struct.pack_into`` at 64-byte strides (their own cache lines).  Each
+counter has exactly one writer (SPSC), so an aligned 8-byte store is
+"atomic enough": the reader may observe a stale value, never a torn
+in-between one on the platforms CPython runs ranks on.  The spill region
+is a bump allocator over the same discipline: the producer only ever
+allocates contiguous tail room (a chunk shrinks rather than wraps), and
+the consumer releases bytes in allocation order because slot consumption
+is FIFO.
+
+The classes operate on any writable buffer (a ``memoryview`` of a
+``multiprocessing.shared_memory`` block in production, a plain
+``bytearray`` in unit tests).
+"""
+
+from __future__ import annotations
+
+import struct
+
+_U64 = struct.Struct("<Q")
+SLOT_HDR = struct.Struct("<IIQ")  # inline_len, spill_len, spill_off
+
+#: Control-cursor offsets within a region (64-byte strides: one cache
+#: line per single-writer counter).
+_TAIL_OFF = 0
+_HEAD_OFF = 64
+_ALLOC_OFF = 128
+_FREE_OFF = 192
+CTRL_BYTES = 256
+
+
+class RingSpec:
+    """Geometry of one ring region (shared by producer and consumer)."""
+
+    __slots__ = ("slots", "slot_bytes", "spill_bytes", "inline_cap",
+                 "region_bytes")
+
+    def __init__(self, slots: int = 64, slot_bytes: int = 4096,
+                 spill_bytes: int = 1 << 20):
+        if slots < 2:
+            raise ValueError("ring needs at least 2 slots")
+        if slot_bytes <= SLOT_HDR.size:
+            raise ValueError(
+                f"slot_bytes must exceed the {SLOT_HDR.size}-byte slot "
+                f"header"
+            )
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self.spill_bytes = spill_bytes
+        self.inline_cap = slot_bytes - SLOT_HDR.size
+        self.region_bytes = CTRL_BYTES + slots * slot_bytes + spill_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RingSpec(slots={self.slots}, slot_bytes={self.slot_bytes},"
+                f" spill_bytes={self.spill_bytes})")
+
+
+class RingProducer:
+    """The sending side of one directed ring (single producer).
+
+    The conduit serializes callers with its per-peer send lock; within
+    that discipline the producer owns ``tail`` and ``spill_alloc`` and
+    only *reads* the consumer's cursors.
+    """
+
+    __slots__ = ("_mv", "_spec", "_base", "_slot0", "_spill0",
+                 "_tail", "_alloc", "last_spill")
+
+    def __init__(self, buf, spec: RingSpec, base: int = 0):
+        self._mv = memoryview(buf)
+        self._spec = spec
+        self._base = base
+        self._slot0 = base + CTRL_BYTES
+        self._spill0 = base + CTRL_BYTES + spec.slots * spec.slot_bytes
+        # The region is zero-initialized at creation; cache our own
+        # cursors locally (we are their only writer).
+        self._tail = _U64.unpack_from(self._mv, base + _TAIL_OFF)[0]
+        self._alloc = _U64.unpack_from(self._mv, base + _ALLOC_OFF)[0]
+        #: Spill bytes placed by the most recent successful try_emit
+        #: (telemetry reads this; 0 for a purely inline slot).
+        self.last_spill = 0
+
+    # -- introspection (tests, backpressure probes) ----------------------
+    def free_slots(self) -> int:
+        head = _U64.unpack_from(self._mv, self._base + _HEAD_OFF)[0]
+        return self._spec.slots - (self._tail - head)
+
+    def spill_in_use(self) -> int:
+        freed = _U64.unpack_from(self._mv, self._base + _FREE_OFF)[0]
+        return self._alloc - freed
+
+    def try_emit(self, data, off: int) -> int:
+        """Publish one slot carrying bytes of ``data`` starting at
+        ``off``; returns how many bytes were consumed (0 when the ring
+        is full — the caller backs off and retries).
+
+        As much of the chunk as fits goes inline; the remainder takes
+        whatever contiguous spill tail room is currently free.  A
+        non-full ring always makes progress (at least the inline bytes),
+        so a stream of any length drains through a bounded region.
+        """
+        spec = self._spec
+        mv = self._mv
+        head = _U64.unpack_from(mv, self._base + _HEAD_OFF)[0]
+        if self._tail - head >= spec.slots:
+            return 0
+        remaining = len(data) - off
+        inline = remaining if remaining < spec.inline_cap else spec.inline_cap
+        spill_need = remaining - inline
+        spill_len = 0
+        spill_off = 0
+        if spill_need > 0 and spec.spill_bytes:
+            freed = _U64.unpack_from(mv, self._base + _FREE_OFF)[0]
+            free = spec.spill_bytes - (self._alloc - freed)
+            pos = self._alloc % spec.spill_bytes
+            contig = spec.spill_bytes - pos
+            spill_len = min(spill_need, free, contig)
+            if spill_len > 0:
+                spill_off = pos
+                dst0 = self._spill0 + pos
+                src0 = off + inline
+                mv[dst0:dst0 + spill_len] = data[src0:src0 + spill_len]
+                self._alloc += spill_len
+                _U64.pack_into(mv, self._base + _ALLOC_OFF, self._alloc)
+        slot = self._slot0 + (self._tail % spec.slots) * spec.slot_bytes
+        SLOT_HDR.pack_into(mv, slot, inline, spill_len, spill_off)
+        body = slot + SLOT_HDR.size
+        mv[body:body + inline] = data[off:off + inline]
+        self._tail += 1
+        _U64.pack_into(mv, self._base + _TAIL_OFF, self._tail)
+        self.last_spill = spill_len
+        return inline + spill_len
+
+
+class RingConsumer:
+    """The receiving side of one directed ring (single consumer)."""
+
+    __slots__ = ("_mv", "_spec", "_base", "_slot0", "_spill0",
+                 "_head", "_freed")
+
+    def __init__(self, buf, spec: RingSpec, base: int = 0):
+        self._mv = memoryview(buf)
+        self._spec = spec
+        self._base = base
+        self._slot0 = base + CTRL_BYTES
+        self._spill0 = base + CTRL_BYTES + spec.slots * spec.slot_bytes
+        self._head = _U64.unpack_from(self._mv, base + _HEAD_OFF)[0]
+        self._freed = _U64.unpack_from(self._mv, base + _FREE_OFF)[0]
+
+    def pending(self) -> bool:
+        """Whether at least one unconsumed slot is published."""
+        tail = _U64.unpack_from(self._mv, self._base + _TAIL_OFF)[0]
+        return tail != self._head
+
+    def try_recv(self):
+        """Consume one slot; returns its chunk as a ``bytearray`` (the
+        next piece of the pair's byte stream) or ``None`` when empty."""
+        spec = self._spec
+        mv = self._mv
+        tail = _U64.unpack_from(mv, self._base + _TAIL_OFF)[0]
+        if tail == self._head:
+            return None
+        slot = self._slot0 + (self._head % spec.slots) * spec.slot_bytes
+        inline, spill_len, spill_off = SLOT_HDR.unpack_from(mv, slot)
+        out = bytearray(inline + spill_len)
+        body = slot + SLOT_HDR.size
+        out[:inline] = mv[body:body + inline]
+        if spill_len:
+            s0 = self._spill0 + spill_off
+            out[inline:] = mv[s0:s0 + spill_len]
+        # Copy-out complete: release the slot, then the spill bytes
+        # (allocation order == consumption order, so a running total is
+        # an exact free cursor).
+        self._head += 1
+        _U64.pack_into(mv, self._base + _HEAD_OFF, self._head)
+        if spill_len:
+            self._freed += spill_len
+            _U64.pack_into(mv, self._base + _FREE_OFF, self._freed)
+        return out

@@ -82,6 +82,18 @@ class CommStats:
     wire_fixed: int = 0
     pickle_fallbacks: int = 0
     wire_byref: int = 0
+    # Shared-memory ring transport (repro.gasnet.proc, ring mode): slots
+    # published, frames carried, frames that rode an aggregated flush
+    # (coalesced with at least one other frame), flushes that used the
+    # OOB spill region, full-ring backoff iterations on the sender,
+    # doorbells rung at parked receivers, and receiver doorbell wakeups.
+    wire_ring_slots: int = 0
+    wire_ring_frames: int = 0
+    wire_ring_agg_frames: int = 0
+    wire_ring_spills: int = 0
+    wire_ring_full_backoffs: int = 0
+    wire_ring_doorbells: int = 0
+    wire_ring_wakeups: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_put(self, nbytes: int) -> None:
@@ -269,6 +281,50 @@ class CommStats:
             if by_ref:
                 self.wire_byref += 1
 
+    def record_am_wire(self, nbytes: int, used_pickle: bool,
+                       by_ref: bool, is_reply: bool = False) -> None:
+        """Fused :meth:`record_am` + :meth:`record_wire` (+
+        :meth:`record_reply` when the frame is a reply): one lock
+        round-trip on the per-message send path instead of two or
+        three."""
+        with self._lock:
+            self.ams_sent += 1
+            self.am_bytes += nbytes
+            if is_reply:
+                self.replies_sent += 1
+            self.wire_frames += 1
+            if used_pickle:
+                self.pickle_fallbacks += 1
+            else:
+                self.wire_fixed += 1
+            if by_ref:
+                self.wire_byref += 1
+
+    # -- shared-memory ring transport --------------------------------------
+    def record_ring_flush(self, slots: int, frames: int,
+                          spilled: bool) -> None:
+        """One published flush: ``slots`` ring slots carrying ``frames``
+        wire frames (frames > 1 means aggregation coalesced sends)."""
+        with self._lock:
+            self.wire_ring_slots += slots
+            self.wire_ring_frames += frames
+            if frames > 1:
+                self.wire_ring_agg_frames += frames
+            if spilled:
+                self.wire_ring_spills += 1
+
+    def record_ring_backoff(self) -> None:
+        with self._lock:
+            self.wire_ring_full_backoffs += 1
+
+    def record_ring_doorbell(self) -> None:
+        with self._lock:
+            self.wire_ring_doorbells += 1
+
+    def record_ring_wakeup(self) -> None:
+        with self._lock:
+            self.wire_ring_wakeups += 1
+
     # ------------------------------------------------------------------
     # Derived properties read several counters that a concurrent
     # record_* may be mid-update on, so they all go through snapshot()
@@ -371,6 +427,13 @@ class CommStats:
                 "wire_fixed": self.wire_fixed,
                 "pickle_fallbacks": self.pickle_fallbacks,
                 "wire_byref": self.wire_byref,
+                "wire_ring_slots": self.wire_ring_slots,
+                "wire_ring_frames": self.wire_ring_frames,
+                "wire_ring_agg_frames": self.wire_ring_agg_frames,
+                "wire_ring_spills": self.wire_ring_spills,
+                "wire_ring_full_backoffs": self.wire_ring_full_backoffs,
+                "wire_ring_doorbells": self.wire_ring_doorbells,
+                "wire_ring_wakeups": self.wire_ring_wakeups,
             }
 
     def reset(self) -> None:
@@ -398,6 +461,10 @@ class CommStats:
             self.kv_migrations = self.dead_peer_fastfails = 0
             self.wire_frames = self.wire_fixed = 0
             self.pickle_fallbacks = self.wire_byref = 0
+            self.wire_ring_slots = self.wire_ring_frames = 0
+            self.wire_ring_agg_frames = self.wire_ring_spills = 0
+            self.wire_ring_full_backoffs = 0
+            self.wire_ring_doorbells = self.wire_ring_wakeups = 0
 
 
 def aggregate(stats: list[CommStats]) -> dict:

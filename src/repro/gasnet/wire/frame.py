@@ -147,6 +147,21 @@ class Frame:
         ctrl = self.ctrl
         (_ver, flags, codec_id, hid, src, tok, aux, _nbuf, args_len,
          meta_len) = HEADER.unpack_from(ctrl, 0)
+        if not args_len and codec_id == CODEC_NONE \
+                and not flags & F_HAS_TRACE:
+            # Trivial frame (bare signal / ack / ping): nothing to
+            # decode — skip the memoryview and decoder setup.
+            am = ActiveMessage(
+                handler=handler_name(hid), src_rank=src, args=(),
+                payload=None,
+                token=tok if flags & F_HAS_TOKEN else None,
+                is_reply=bool(flags & F_IS_REPLY), aux=aux)
+            am._wire_bytes = self.nbytes
+            self._decoded = am
+            if self.pooled:
+                self.pooled = False
+                _pool.put(ctrl)
+            return am
         mv = memoryview(ctrl)
         try:
             pos = HEADER.size
@@ -222,6 +237,27 @@ def encode_am(am: ActiveMessage, tel=None) -> Frame:
     """Encode an AM into its wire frame (memoized on the message)."""
     frame = am._frame
     if frame is not None:
+        return frame
+    if not am.args and am.payload is None and not am.trace_id:
+        # Trivial AM (bare signal / ack / ping): the frame is exactly
+        # one fixed header — skip the encoder, codec dispatch, and
+        # control-buffer pool entirely.  This is the hot shape for
+        # request/reply latency paths.
+        tok = am.token
+        if tok is None:
+            tok = 0
+            flags = F_IS_REPLY if am.is_reply else 0
+        else:
+            flags = (F_HAS_TOKEN | F_IS_REPLY if am.is_reply
+                     else F_HAS_TOKEN)
+        ctrl = bytearray(HEADER.size)
+        HEADER.pack_into(ctrl, 0, WIRE_VERSION, flags, CODEC_NONE,
+                         handler_code(am.handler), am.src_rank, tok,
+                         am.aux, 0, 0, 0)
+        frame = Frame(ctrl, [], [], HEADER.size, False, False,
+                      pooled=False)
+        am._frame = frame
+        am._wire_bytes = HEADER.size
         return frame
     t0 = time.perf_counter() if tel is not None and tel.full else None
     enc = _c.Encoder(out=_pool.get())

@@ -26,7 +26,10 @@ from repro.gasnet import backends
 from repro.gasnet.chaos import ChaosConduit
 from tests.conftest import run_spmd
 
-CONDUITS = ("smp", "proc")
+# "proc" resolves to the default transport (rings); the pinned variants
+# run the same contract over each AM transport explicitly, so a ring
+# regression cannot hide behind the socketpair fallback or vice versa.
+CONDUITS = ("smp", "proc+ring", "proc+socket")
 
 
 @pytest.fixture(params=CONDUITS)
@@ -316,4 +319,16 @@ def test_backend_registry_capabilities():
     assert smp.in_process_hooks and not proc.in_process_hooks
     assert proc.zero_copy_rma and proc.needs_launcher
     assert not smp.needs_launcher
-    assert set(backends.backend_names()) >= {"smp", "proc"}
+    assert set(backends.backend_names()) >= {
+        "smp", "proc", "proc+ring", "proc+socket"}
+    # the pinned transport variants: same conduit contract, different
+    # AM transport — capability flags and launcher options must agree
+    ring = backends.backend("proc+ring")
+    sock = backends.backend("proc+socket")
+    assert ring.caps.shm_rings and not sock.caps.shm_rings
+    assert not smp.shm_rings
+    assert ring.options == {"transport": "ring"}
+    assert sock.options == {"transport": "socket"}
+    assert ring.caps.needs_launcher and sock.caps.needs_launcher
+    # "proc" defaults to the ring transport's capability set
+    assert proc == ring.caps
